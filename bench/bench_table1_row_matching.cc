@@ -1,0 +1,62 @@
+// Table 1 — Row matching performance.
+//
+// Reproduces: #rows, average join-entry length, candidate pairs, and the
+// precision/recall/F1 of n-gram representative row matching (Algorithm 1)
+// per dataset. Paper reference values (Table 1):
+//   Web tables  P=0.81 R=0.93 F1=0.86      Spreadsheet P=0.95 R=0.93 F1=0.94
+//   Open data   P=0.01 R=0.92 F1=0.02      Synth-50    P=1.00 R=0.88 F1=0.94
+//   Synth-500   P=0.97 R=0.81 F1=0.87      (L variants slightly higher P/R)
+
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/report.h"
+#include "benchlib/suite.h"
+#include "common/strings.h"
+
+namespace tj {
+namespace {
+
+void Run() {
+  std::printf("== Table 1: Row matching performance ==\n");
+  const std::vector<BenchDataset> suite = BuildSuite(SuiteOptionsFromEnv());
+  TablePrinter table({"Dataset", "#Rows", "Avg Len.", "#Pairs", "P", "R",
+                      "F1", "Time"});
+  for (const BenchDataset& dataset : suite) {
+    std::vector<double> rows;
+    std::vector<double> avg_len;
+    std::vector<double> pairs;
+    std::vector<double> precision;
+    std::vector<double> recall;
+    std::vector<double> f1;
+    double seconds = 0.0;
+    for (const TablePair& pair : dataset.tables) {
+      const RowMatchEval eval = EvaluateRowMatching(pair);
+      rows.push_back(static_cast<double>(pair.SourceColumn().size()));
+      avg_len.push_back(pair.SourceColumn().AverageLength());
+      pairs.push_back(static_cast<double>(eval.pairs));
+      precision.push_back(eval.metrics.precision);
+      recall.push_back(eval.metrics.recall);
+      f1.push_back(eval.metrics.f1);
+      seconds += eval.seconds;
+    }
+    table.AddRow({dataset.name, FormatDouble(Mean(rows), 0),
+                  FormatDouble(Mean(avg_len), 2),
+                  FormatDouble(Mean(pairs), 1),
+                  FormatDouble(Mean(precision), 2),
+                  FormatDouble(Mean(recall), 2), FormatDouble(Mean(f1), 2),
+                  FormatSeconds(seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: near-perfect matching on clean data; open data recalls"
+      "\nwell but precision collapses from shared address n-grams.\n\n");
+}
+
+}  // namespace
+}  // namespace tj
+
+int main() {
+  tj::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// The open-data scenario (paper §6.1): joining noisy directory-style
+// addresses with assessment-style addresses. Demonstrates the scaling tools
+// the paper develops — candidate-pair sampling (§5.3) and a minimum support
+// threshold on transformations (§6.4) — on a dataset where n-gram matching
+// produces ~99% false candidate pairs.
+
+#include <cstdio>
+
+#include "datagen/opendata.h"
+#include "join/join_engine.h"
+#include "match/row_matcher.h"
+
+int main() {
+  using namespace tj;
+
+  OpenDataOptions data_options;
+  data_options.num_rows = 400;
+  const TablePair pair = GenerateOpenData(data_options);
+  std::printf("source rows: %zu, target rows: %zu, golden pairs: %zu\n",
+              pair.source.num_rows(), pair.target.num_rows(),
+              pair.golden.size());
+
+  // Show how noisy raw candidate matching is on this data.
+  const RowMatchResult raw = FindJoinablePairs(
+      pair.SourceColumn(), pair.TargetColumn(), RowMatchOptions());
+  const PrfMetrics raw_metrics = EvaluatePairs(raw.pairs, pair.golden);
+  std::printf("raw n-gram candidates: %zu pairs, %s\n\n", raw.pairs.size(),
+              FormatPrf(raw_metrics).c_str());
+
+  // Sampling + support threshold let discovery recover from the noise.
+  JoinOptions options;
+  options.matching = MatchingMode::kNgram;
+  options.sample_pairs = 800;  // learn from a sample of the noisy candidates
+  options.discovery.min_support_fraction = 0.01;
+  // The paper uses 2% on its open data; our simulated false pairs are more
+  // structurally co-coverable (tiny digit vocabulary), so junk rules need a
+  // slightly higher bar (see DESIGN.md §4).
+  options.min_join_support = 0.05;
+
+  const JoinResult result = TransformJoin(pair, options);
+  std::printf("learned from %zu sampled pairs in %.2fs\n",
+              result.learning_pairs, result.discovery_seconds);
+  std::printf("transformations above support:\n");
+  for (const auto& t : result.applied_transformations) {
+    std::printf("  %s\n", t.c_str());
+  }
+  std::printf("\nend-to-end join: %s (%zu pairs)\n",
+              FormatPrf(result.metrics).c_str(), result.joined.size());
+  std::printf("(paper shape: high precision, moderate recall — uncoverable "
+              "abbreviation\nschemes cap recall, support threshold keeps "
+              "precision high)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// End-to-end join of the paper's Figure 1 left-hand tables: staff names
+// joined with course contact emails. No matching rows are given — the n-gram
+// row matcher proposes candidates, discovery learns the name->email rules,
+// and the engine equi-joins the transformed values.
+
+#include <cstdio>
+
+#include "datagen/figure1.h"
+#include "join/join_engine.h"
+
+int main() {
+  using namespace tj;
+
+  const TablePair pair = Figure1NameEmailPair();
+  std::printf("source (%s): %zu rows, target (%s): %zu rows\n\n",
+              pair.source.name().c_str(), pair.source.num_rows(),
+              pair.target.name().c_str(), pair.target.num_rows());
+
+  JoinOptions options;
+  options.matching = MatchingMode::kNgram;  // discover candidates ourselves
+  options.min_join_support = 0.2;  // tiny table: demand 2 supporting rows
+
+  const JoinResult result = TransformJoin(pair, options);
+
+  std::printf("learning pairs found by n-gram matching: %zu\n",
+              result.learning_pairs);
+  std::printf("transformations applied to the join:\n");
+  for (const auto& t : result.applied_transformations) {
+    std::printf("  %s\n", t.c_str());
+  }
+  std::printf("\njoined pairs (source -> target):\n");
+  for (const RowPair& p : result.joined) {
+    std::printf("  %-28s -> %s\n",
+                std::string(pair.SourceColumn().Get(p.source)).c_str(),
+                std::string(pair.TargetColumn().Get(p.target)).c_str());
+  }
+  std::printf("\nquality vs golden matching: %s\n",
+              FormatPrf(result.metrics).c_str());
+  return 0;
+}

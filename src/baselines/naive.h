@@ -1,0 +1,50 @@
+// Naive brute-force baseline (paper §3.1): exhaustively enumerate every
+// transformation (sequences of units with every parameter assignment) that
+// maps each source to its target, then compute coverage and compile
+// solutions. Exponential in the row length — usable only on tiny inputs,
+// where it serves as a ground-truth oracle for the main algorithm's tests.
+
+#ifndef TJ_BASELINES_NAIVE_H_
+#define TJ_BASELINES_NAIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/discovery.h"
+#include "core/example.h"
+#include "core/set_cover.h"
+
+namespace tj {
+
+struct NaiveOptions {
+  /// Maximum units per transformation.
+  int max_units = 4;
+  /// Global cap on enumerated transformations (sets `truncated` when hit).
+  size_t max_transformations = 200000;
+  bool enable_twochar_split_substr = false;
+};
+
+struct NaiveResult {
+  UnitInterner units;
+  TransformationStore store;
+  CoverageIndex coverage;
+  std::vector<RankedTransformation> top;
+  SetCoverResult cover;
+  size_t num_rows = 0;
+  bool truncated = false;
+
+  double TopCoverageFraction() const {
+    if (num_rows == 0 || top.empty()) return 0.0;
+    return static_cast<double>(top[0].coverage) /
+           static_cast<double>(num_rows);
+  }
+};
+
+/// Stage 1+2 of the naive approach: enumerate-and-cover.
+NaiveResult NaiveEnumerate(const std::vector<ExamplePair>& rows,
+                           const NaiveOptions& options);
+
+}  // namespace tj
+
+#endif  // TJ_BASELINES_NAIVE_H_

@@ -1,0 +1,83 @@
+#include "benchlib/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace tj {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TJ_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += "  ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total - 2, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+SeriesPrinter::SeriesPrinter(std::string x_name,
+                             std::vector<std::string> series_names)
+    : x_name_(std::move(x_name)), series_names_(std::move(series_names)) {}
+
+void SeriesPrinter::AddPoint(double x, std::vector<double> values) {
+  TJ_CHECK(values.size() == series_names_.size());
+  points_.emplace_back(x, std::move(values));
+}
+
+std::string SeriesPrinter::Render() const {
+  TablePrinter table([&] {
+    std::vector<std::string> headers = {x_name_};
+    headers.insert(headers.end(), series_names_.begin(), series_names_.end());
+    return headers;
+  }());
+  for (const auto& [x, values] : points_) {
+    std::vector<std::string> row = {FormatDouble(x, 0)};
+    for (double v : values) row.push_back(FormatDouble(v, 4));
+    table.AddRow(std::move(row));
+  }
+  return table.Render();
+}
+
+void SeriesPrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string FormatDouble(double v, int decimals) {
+  return StrPrintf("%.*f", decimals, v);
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds < 0.001) return StrPrintf("%.0fus", seconds * 1e6);
+  if (seconds < 1.0) return StrPrintf("%.1fms", seconds * 1e3);
+  return StrPrintf("%.2fs", seconds);
+}
+
+}  // namespace tj

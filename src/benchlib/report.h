@@ -1,0 +1,54 @@
+// Fixed-width table and series printers for the benchmark harness. Benches
+// print rows shaped like the paper's tables so EXPERIMENTS.md can record
+// paper-vs-measured side by side.
+
+#ifndef TJ_BENCHLIB_REPORT_H_
+#define TJ_BENCHLIB_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace tj {
+
+/// Column-aligned plain-text table writer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; cell count must equal the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline and 2-space column gaps.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "figure" as x/series columns (consumable by any plotting tool).
+class SeriesPrinter {
+ public:
+  SeriesPrinter(std::string x_name, std::vector<std::string> series_names);
+
+  void AddPoint(double x, std::vector<double> values);
+
+  std::string Render() const;
+  void Print() const;
+
+ private:
+  std::string x_name_;
+  std::vector<std::string> series_names_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+/// Helpers for formatting bench cells.
+std::string FormatDouble(double v, int decimals);
+std::string FormatSeconds(double seconds);
+
+}  // namespace tj
+
+#endif  // TJ_BENCHLIB_REPORT_H_

@@ -1,0 +1,204 @@
+#include "benchlib/suite.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/discovery.h"
+#include "core/example.h"
+#include "datagen/opendata.h"
+#include "datagen/spreadsheet.h"
+#include "datagen/synth.h"
+#include "datagen/webtables.h"
+#include "match/row_matcher.h"
+
+namespace tj {
+namespace {
+
+size_t Scaled(size_t base, double scale) {
+  const auto scaled = static_cast<size_t>(static_cast<double>(base) * scale);
+  return std::max<size_t>(scaled, 4);
+}
+
+/// Synth configs are means over several generated tables, as in the paper
+/// (which uses 10; we default to a laptop-friendly count).
+std::vector<TablePair> SynthTables(size_t rows, bool long_rows, size_t count,
+                                   uint64_t seed) {
+  std::vector<TablePair> tables;
+  for (size_t i = 0; i < count; ++i) {
+    SynthOptions o =
+        long_rows ? SynthNL(rows, seed + i * 977) : SynthN(rows, seed + i * 977);
+    tables.push_back(GenerateSynth(o).pair);
+  }
+  return tables;
+}
+
+}  // namespace
+
+SuiteOptions SuiteOptionsFromEnv() {
+  SuiteOptions options;
+  if (const char* scale = std::getenv("TJ_BENCH_SCALE")) {
+    const double parsed = std::atof(scale);
+    if (parsed > 0.0) options.scale = parsed;
+  }
+  return options;
+}
+
+std::vector<BenchDataset> BuildSuite(const SuiteOptions& options) {
+  std::vector<BenchDataset> suite;
+  const double s = options.scale;
+
+  if (options.include_webtables) {
+    BenchDataset d;
+    d.name = "Web tables";
+    WebTablesOptions wt;
+    wt.seed = options.seed + 1;
+    d.tables = GenerateWebTables(wt);
+    d.discovery.max_placeholders = 3;  // §6.2
+    d.autojoin_budget_seconds = 1.0;
+    suite.push_back(std::move(d));
+  }
+  if (options.include_spreadsheet) {
+    BenchDataset d;
+    d.name = "Spreadsheet";
+    SpreadsheetOptions sp;
+    sp.seed = options.seed + 2;
+    d.tables = GenerateSpreadsheet(sp);
+    d.discovery.max_placeholders = 4;  // §6.2: more small textual pieces
+    // Tables here are small (~34 rows), so the paper's 5% support admits
+    // 2-row junk rules; 10% ≈ 4 rows keeps real rules and drops junk.
+    d.join_support = 0.1;
+    d.autojoin_budget_seconds = 0.4;
+    suite.push_back(std::move(d));
+  }
+  if (options.include_opendata) {
+    BenchDataset d;
+    d.name = "Open data";
+    OpenDataOptions od;
+    od.seed = options.seed + 3;
+    od.num_rows = Scaled(600, s);
+    d.tables.push_back(GenerateOpenData(od));
+    d.discovery.max_placeholders = 3;
+    d.discovery.min_support_fraction = 0.01;  // §6.4: 1% support threshold
+    // §6.4 samples 3000 of ~360k candidate pairs; our scaled-down benchmark
+    // produces ~8k candidates, so 1200 keeps a comparable sampling rate and
+    // a laptop-friendly runtime (this dataset is still the slowest by far,
+    // like the paper's 23386s outlier).
+    d.sample_pairs = Scaled(1200, s);
+    d.discovery.max_transformations_per_row = 2048;
+    // §6.5 uses 2%; our simulated false candidates are more structurally
+    // co-coverable than real scraped addresses, so junk rules need a
+    // slightly higher support bar to reproduce the paper's precision shape.
+    d.join_support = 0.05;
+    d.autojoin_budget_seconds = 2.0;
+    suite.push_back(std::move(d));
+  }
+  if (options.include_synth) {
+    struct SynthSpec {
+      const char* name;
+      size_t rows;
+      bool long_rows;
+      size_t tables;
+    };
+    const SynthSpec specs[] = {
+        {"Synth-50", 50, false, 5},
+        {"Synth-50L", 50, true, 5},
+        {"Synth-500", 500, false, 3},
+        {"Synth-500L", 500, true, 3},
+    };
+    for (const auto& spec : specs) {
+      BenchDataset d;
+      d.name = spec.name;
+      d.tables = SynthTables(Scaled(spec.rows, s), spec.long_rows,
+                             spec.tables, options.seed + 10);
+      d.discovery.max_placeholders = 3;
+      d.autojoin_budget_seconds = spec.rows >= 500 ? 2.0 : 1.0;
+      suite.push_back(std::move(d));
+    }
+  }
+  return suite;
+}
+
+RowMatchEval EvaluateRowMatching(const TablePair& pair) {
+  RowMatchEval eval;
+  Stopwatch watch;
+  const RowMatchResult result =
+      FindJoinablePairs(pair.SourceColumn(), pair.TargetColumn(),
+                        RowMatchOptions());
+  eval.seconds = watch.ElapsedSeconds();
+  eval.pairs = result.pairs.size();
+  eval.metrics = EvaluatePairs(result.pairs, pair.golden);
+  return eval;
+}
+
+std::vector<ExamplePair> LearningPairs(const TablePair& pair,
+                                       const BenchDataset& config,
+                                       MatchingMode matching) {
+  std::vector<RowPair> candidates;
+  if (matching == MatchingMode::kGolden) {
+    candidates = pair.golden.pairs();
+  } else {
+    candidates = FindJoinablePairs(pair.SourceColumn(), pair.TargetColumn(),
+                                   RowMatchOptions())
+                     .pairs;
+  }
+  if (config.sample_pairs != 0 && candidates.size() > config.sample_pairs) {
+    std::vector<uint32_t> idx(candidates.size());
+    for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    Rng rng(config.sample_pairs ^ 0x5eedULL);
+    rng.Shuffle(&idx);
+    idx.resize(config.sample_pairs);
+    std::sort(idx.begin(), idx.end());
+    std::vector<RowPair> sampled;
+    sampled.reserve(idx.size());
+    for (uint32_t i : idx) sampled.push_back(candidates[i]);
+    candidates = std::move(sampled);
+  }
+  return MakeExamplePairs(pair.SourceColumn(), pair.TargetColumn(),
+                          candidates);
+}
+
+DiscoveryEval EvaluateDiscovery(const TablePair& pair,
+                                const BenchDataset& config,
+                                MatchingMode matching) {
+  DiscoveryEval eval;
+  const std::vector<ExamplePair> rows =
+      LearningPairs(pair, config, matching);
+  eval.learning_pairs = rows.size();
+  Stopwatch watch;
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, config.discovery);
+  eval.seconds = watch.ElapsedSeconds();
+  eval.top_coverage = result.TopCoverageFraction();
+  eval.cover_coverage = result.CoverSetCoverageFraction();
+  eval.num_transformations = result.cover.selected.size();
+  eval.stats = result.stats;
+  return eval;
+}
+
+AutoJoinEval EvaluateAutoJoin(const TablePair& pair,
+                              const BenchDataset& config,
+                              MatchingMode matching) {
+  AutoJoinEval eval;
+  const std::vector<ExamplePair> rows =
+      LearningPairs(pair, config, matching);
+  AutoJoinOptions options;
+  options.time_budget_seconds = config.autojoin_budget_seconds;
+  const AutoJoinResult result = RunAutoJoin(rows, options);
+  eval.top_coverage = result.TopCoverageFraction();
+  eval.union_coverage = result.union_coverage;
+  eval.num_transformations = result.found.size();
+  eval.seconds = result.seconds;
+  eval.timed_out = result.timed_out;
+  return eval;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace tj

@@ -1,0 +1,67 @@
+#include "common/bitset.h"
+
+namespace tj {
+
+void DynamicBitset::Resize(size_t size) {
+  size_ = size;
+  words_.resize((size + 63) / 64, 0);
+  ClearExcessBits();
+}
+
+void DynamicBitset::SetAll() {
+  for (auto& w : words_) w = ~0ULL;
+  ClearExcessBits();
+}
+
+void DynamicBitset::ResetAll() {
+  for (auto& w : words_) w = 0;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+bool DynamicBitset::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+DynamicBitset& DynamicBitset::OrWith(const DynamicBitset& other) {
+  TJ_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::AndWith(const DynamicBitset& other) {
+  TJ_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::AndNotWith(const DynamicBitset& other) {
+  TJ_CHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+size_t DynamicBitset::CountAndNot(const DynamicBitset& other) const {
+  TJ_CHECK(size_ == other.size_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(__builtin_popcountll(words_[i] & ~other.words_[i]));
+  }
+  return n;
+}
+
+void DynamicBitset::ClearExcessBits() {
+  const size_t used = size_ & 63;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << used) - 1;
+  }
+}
+
+}  // namespace tj

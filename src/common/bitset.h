@@ -1,0 +1,97 @@
+// DynamicBitset: a compact resizable bitset used by the coverage engine and
+// the greedy set-cover solver to track which input rows a transformation
+// covers and which rows remain uncovered.
+
+#ifndef TJ_COMMON_BITSET_H_
+#define TJ_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tj {
+
+/// A fixed-width-word bitset with set algebra and population counts.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// All bits start cleared.
+  explicit DynamicBitset(size_t size) { Resize(size); }
+
+  /// Grows or shrinks to `size` bits; newly added bits are cleared.
+  void Resize(size_t size);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Test(size_t i) const {
+    TJ_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Set(size_t i) {
+    TJ_DCHECK(i < size_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void Reset(size_t i) {
+    TJ_DCHECK(i < size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  /// Sets every bit in [0, size).
+  void SetAll();
+
+  /// Clears every bit.
+  void ResetAll();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// True if any bit is set.
+  bool Any() const;
+
+  /// this |= other. Sizes must match.
+  DynamicBitset& OrWith(const DynamicBitset& other);
+
+  /// this &= other. Sizes must match.
+  DynamicBitset& AndWith(const DynamicBitset& other);
+
+  /// this &= ~other. Sizes must match.
+  DynamicBitset& AndNotWith(const DynamicBitset& other);
+
+  /// |this & ~other| without materializing the result. Sizes must match.
+  size_t CountAndNot(const DynamicBitset& other) const;
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Invokes f(index) for every set bit, in increasing index order.
+  template <typename F>
+  void ForEachSet(F f) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        f(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  /// Clears bits beyond size_ in the last word (they must stay zero for
+  /// Count/equality to be exact).
+  void ClearExcessBits();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_BITSET_H_

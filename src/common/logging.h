@@ -1,0 +1,40 @@
+// Minimal assertion macros used across the library.
+//
+// TJ_CHECK aborts on violated invariants in every build type; TJ_DCHECK is
+// compiled out of release builds and guards expensive internal validations
+// (e.g., re-evaluating every extracted transformation unit).
+
+#ifndef TJ_COMMON_LOGGING_H_
+#define TJ_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tj {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "TJ_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace tj
+
+#define TJ_CHECK(cond)                                          \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::tj::internal::CheckFailed(#cond, __FILE__, __LINE__);   \
+    }                                                           \
+  } while (false)
+
+#ifndef NDEBUG
+#define TJ_DCHECK(cond) TJ_CHECK(cond)
+#else
+#define TJ_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#endif
+
+#endif  // TJ_COMMON_LOGGING_H_

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation (xoshiro256++).
+//
+// Every stochastic component in the repository (dataset generators, sampling,
+// Auto-Join subset selection) takes an explicit seed and draws through this
+// class so experiments are exactly reproducible.
+
+#ifndef TJ_COMMON_RNG_H_
+#define TJ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tj {
+
+/// xoshiro256++ generator seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed.
+  void Reseed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// A uniformly random character from a non-empty alphabet.
+  char PickChar(std::string_view alphabet);
+
+  /// A string of `len` characters drawn uniformly from `alphabet`.
+  std::string RandomString(size_t len, std::string_view alphabet);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// A uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& PickOne(const std::vector<T>& v) {
+    TJ_CHECK(!v.empty());
+    return v[static_cast<size_t>(Uniform(v.size()))];
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_RNG_H_

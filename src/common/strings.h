@@ -1,0 +1,43 @@
+// Small string helpers shared across the library (ASCII-only by design; the
+// paper's transformation units operate on bytes).
+
+#ifndef TJ_COMMON_STRINGS_H_
+#define TJ_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tj {
+
+/// Lowercases ASCII letters; other bytes pass through.
+std::string ToLowerAscii(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view TrimAscii(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// printf-style formatting into a std::string (gcc 12 lacks std::format).
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a string for display, escaping non-printable bytes and quotes
+/// (used when pretty-printing transformations and literals).
+std::string EscapeForDisplay(std::string_view s);
+
+/// True if `needle` occurs in `haystack` (convenience over find()).
+inline bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+/// True if `haystack` contains character `c`.
+inline bool ContainsChar(std::string_view haystack, char c) {
+  return haystack.find(c) != std::string_view::npos;
+}
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_STRINGS_H_

@@ -1,0 +1,46 @@
+// Wall-clock timing utilities for the per-phase instrumentation the paper's
+// Figure 4 breakdown requires.
+
+#ifndef TJ_COMMON_TIMER_H_
+#define TJ_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tj {
+
+/// Measures elapsed wall time in seconds using a steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Restart() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed seconds into an accumulator on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulator) : accumulator_(accumulator) {}
+  ~ScopedTimer() {
+    if (accumulator_ != nullptr) *accumulator_ += watch_.ElapsedSeconds();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* accumulator_;
+  Stopwatch watch_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_TIMER_H_

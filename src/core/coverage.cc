@@ -1,0 +1,166 @@
+#include "core/coverage.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "common/timer.h"
+
+namespace tj {
+namespace {
+
+/// Per-row memo of unit evaluations. Units repeat across the Cartesian-
+/// product transformations, so each unit is evaluated at most once per row;
+/// the paper's negative-unit cache is the kBad state.
+///
+/// The memo is allocated once for all rows and invalidated per row with an
+/// epoch counter — resetting multi-megabyte state vectors per row would
+/// otherwise dominate the runtime on large inputs.
+class RowUnitCache {
+ public:
+  /// With `use_memo` false (the paper's no-cache ablation) every evaluation
+  /// recomputes from scratch and no negative knowledge is retained.
+  RowUnitCache(size_t num_units, bool use_memo) : use_memo_(use_memo) {
+    if (use_memo_) {
+      epoch_.assign(num_units, 0);
+      state_.resize(num_units);
+      output_.resize(num_units);
+    }
+  }
+
+  enum State : uint8_t {
+    kUnknown = 0,
+    kOk = 1,   // unit applies; output is a substring of the target
+    kBad = 2,  // unit fails or its output is not in the target
+  };
+
+  /// Starts a new row: logically clears every memo entry in O(1).
+  void BeginRow() { ++current_epoch_; }
+
+  State state(UnitId id) const {
+    if (!use_memo_ || epoch_[id] != current_epoch_) return kUnknown;
+    return static_cast<State>(state_[id]);
+  }
+
+  /// Evaluates (or recalls) the unit on this row. Returns kOk/kBad and, for
+  /// kOk, sets *out to the unit's output.
+  State Evaluate(const Unit& unit, UnitId id, std::string_view source,
+                 std::string_view target, uint64_t* unit_evals,
+                 std::string_view* out) {
+    if (!use_memo_) {
+      ++*unit_evals;
+      const auto produced = unit.Eval(source);
+      if (!produced.has_value() ||
+          (!produced->empty() &&
+           target.find(*produced) == std::string_view::npos)) {
+        return kBad;
+      }
+      *out = *produced;
+      return kOk;
+    }
+    if (epoch_[id] != current_epoch_) {
+      epoch_[id] = current_epoch_;
+      ++*unit_evals;
+      const auto produced = unit.Eval(source);
+      if (!produced.has_value() ||
+          (!produced->empty() &&
+           target.find(*produced) == std::string_view::npos)) {
+        state_[id] = kBad;
+      } else {
+        state_[id] = kOk;
+        output_[id] = *produced;
+      }
+    }
+    if (state_[id] == kOk) *out = output_[id];
+    return static_cast<State>(state_[id]);
+  }
+
+ private:
+  const bool use_memo_;
+  uint32_t current_epoch_ = 0;
+  std::vector<uint32_t> epoch_;
+  std::vector<uint8_t> state_;
+  std::vector<std::string_view> output_;
+};
+
+}  // namespace
+
+CoverageIndex ComputeCoverage(const TransformationStore& store,
+                              const UnitInterner& interner,
+                              const std::vector<ExamplePair>& rows,
+                              const DiscoveryOptions& options,
+                              DiscoveryStats* stats) {
+  ScopedTimer total(&stats->time_apply);
+  CoverageIndex index;
+  const size_t num_t = store.size();
+  index.offsets_.assign(num_t + 1, 0);
+  if (num_t == 0) return index;
+
+  // Row-major evaluation: the per-row unit cache stays hot, and every unit
+  // is evaluated at most once per row. Covering pairs are collected and
+  // counting-sorted into CSR by transformation afterwards.
+  std::vector<std::pair<uint32_t, uint32_t>> covering;  // (transformation, row)
+  RowUnitCache cache(interner.size(), options.enable_neg_cache);
+
+  for (uint32_t row = 0; row < rows.size(); ++row) {
+    const std::string_view src = rows[row].source;
+    const std::string_view tgt = rows[row].target;
+    cache.BeginRow();
+
+    for (TransformationId t = 0; t < num_t; ++t) {
+      const Transformation& trans = store.Get(t);
+
+      if (options.enable_neg_cache) {
+        // The paper's pruning: skip the transformation outright if any of
+        // its units is already known not to cover this row.
+        bool pruned = false;
+        for (UnitId id : trans.units()) {
+          if (cache.state(id) == RowUnitCache::kBad) {
+            pruned = true;
+            break;
+          }
+        }
+        if (pruned) {
+          ++stats->cache_hits;
+          continue;
+        }
+      }
+
+      ++stats->full_evaluations;
+      size_t offset = 0;
+      bool covers = true;
+      for (UnitId id : trans.units()) {
+        std::string_view out;
+        const auto state = cache.Evaluate(interner.Get(id), id, src, tgt,
+                                          &stats->unit_evals, &out);
+        if (state == RowUnitCache::kBad) {
+          covers = false;
+          break;
+        }
+        if (out.size() > tgt.size() - offset ||
+            tgt.compare(offset, out.size(), out) != 0) {
+          covers = false;
+          break;
+        }
+        offset += out.size();
+      }
+      if (covers && offset == tgt.size()) {
+        covering.emplace_back(t, row);
+        ++stats->covering_pairs;
+      }
+    }
+  }
+
+  // Counting sort into CSR (rows ascending within each transformation
+  // because the outer loop is row-major).
+  for (const auto& [t, row] : covering) ++index.offsets_[t + 1];
+  for (size_t t = 1; t <= num_t; ++t) {
+    index.offsets_[t] += index.offsets_[t - 1];
+  }
+  index.rows_.resize(covering.size());
+  std::vector<uint32_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
+  for (const auto& [t, row] : covering) index.rows_[cursor[t]++] = row;
+  return index;
+}
+
+}  // namespace tj

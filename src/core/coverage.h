@@ -1,0 +1,65 @@
+// Coverage computation (paper §4.1.5): apply every unique transformation to
+// every input row, guarded by the per-row negative-unit cache. The result is
+// a CSR index from transformation id to the rows it covers.
+
+#ifndef TJ_CORE_COVERAGE_H_
+#define TJ_CORE_COVERAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/example.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "core/transformation_store.h"
+#include "core/unit_interner.h"
+
+namespace tj {
+
+/// Compressed sparse mapping transformation id -> covered row ids.
+class CoverageIndex {
+ public:
+  CoverageIndex() = default;
+
+  size_t num_transformations() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  uint32_t Count(TransformationId t) const {
+    return offsets_[t + 1] - offsets_[t];
+  }
+
+  /// Covered rows of transformation t, ascending.
+  std::span<const uint32_t> RowsOf(TransformationId t) const {
+    return std::span<const uint32_t>(rows_.data() + offsets_[t],
+                                     rows_.data() + offsets_[t + 1]);
+  }
+
+  /// Total covering (transformation, row) pairs.
+  size_t TotalPairs() const { return rows_.size(); }
+
+ private:
+  friend CoverageIndex ComputeCoverage(const TransformationStore&,
+                                       const UnitInterner&,
+                                       const std::vector<ExamplePair>&,
+                                       const DiscoveryOptions&,
+                                       DiscoveryStats*);
+
+  std::vector<uint32_t> offsets_;  // num_transformations + 1
+  std::vector<uint32_t> rows_;     // concatenated covered-row lists
+};
+
+/// Evaluates every transformation in `store` against every row. With
+/// options.enable_neg_cache, a hash set per row of units known not to cover
+/// that row short-circuits the evaluation in O(units) id lookups (the
+/// paper's second pruning strategy).
+CoverageIndex ComputeCoverage(const TransformationStore& store,
+                              const UnitInterner& interner,
+                              const std::vector<ExamplePair>& rows,
+                              const DiscoveryOptions& options,
+                              DiscoveryStats* stats);
+
+}  // namespace tj
+
+#endif  // TJ_CORE_COVERAGE_H_

@@ -1,0 +1,80 @@
+#include "core/discovery.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/generator.h"
+
+namespace tj {
+
+double DiscoveryResult::TopCoverageFraction() const {
+  if (num_rows == 0 || top.empty()) return 0.0;
+  return static_cast<double>(top[0].coverage) /
+         static_cast<double>(num_rows);
+}
+
+double DiscoveryResult::CoverSetCoverageFraction() const {
+  if (num_rows == 0) return 0.0;
+  return static_cast<double>(cover.covered_rows) /
+         static_cast<double>(num_rows);
+}
+
+std::string DiscoveryResult::Describe(size_t max_items) const {
+  std::string out;
+  out += StrPrintf(
+      "rows=%zu generated=%llu unique=%llu cache_hit=%.1f%% dup=%.1f%%\n",
+      num_rows,
+      static_cast<unsigned long long>(stats.generated_transformations),
+      static_cast<unsigned long long>(stats.unique_transformations),
+      100.0 * stats.CacheHitRatio(), 100.0 * stats.DuplicateRatio());
+  out += StrPrintf("top coverage: %.3f, cover-set coverage: %.3f (%zu sets)\n",
+                   TopCoverageFraction(), CoverSetCoverageFraction(),
+                   cover.selected.size());
+  const size_t n = std::min(max_items, cover.selected.size());
+  for (size_t i = 0; i < n; ++i) {
+    const auto& ranked = cover.selected[i];
+    out += StrPrintf("  [%u rows] %s\n", ranked.coverage,
+                     store.Get(ranked.id).ToString(units).c_str());
+  }
+  return out;
+}
+
+DiscoveryResult DiscoverTransformations(const std::vector<ExamplePair>& rows,
+                                        const DiscoveryOptions& options) {
+  DiscoveryResult result;
+  result.num_rows = rows.size();
+  result.stats.rows = rows.size();
+  Stopwatch total;
+
+  // Phases 1-3 (per row): placeholders, skeletons, units, generation.
+  for (const ExamplePair& row : rows) {
+    GenerateTransformationsForRow(row.source, row.target, options,
+                                  &result.units, &result.store, &result.stats);
+  }
+  result.stats.unique_transformations = result.store.size();
+
+  // Phase 4: coverage with the negative-unit cache.
+  result.coverage = ComputeCoverage(result.store, result.units, rows, options,
+                                    &result.stats);
+
+  // Phase 5: solution compilation.
+  {
+    ScopedTimer timer(&result.stats.time_solution);
+    uint32_t min_support = 1;
+    if (options.min_support_fraction > 0.0) {
+      min_support = static_cast<uint32_t>(std::ceil(
+          options.min_support_fraction * static_cast<double>(rows.size())));
+      if (min_support == 0) min_support = 1;
+    }
+    result.top = TopKByCoverage(result.coverage, options.top_k, min_support);
+    SetCoverOptions cover_options;
+    cover_options.min_support = min_support;
+    result.cover = GreedySetCover(result.coverage, rows.size(), cover_options);
+  }
+
+  result.stats.time_total = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tj

@@ -1,0 +1,17 @@
+#include "core/example.h"
+
+namespace tj {
+
+std::vector<ExamplePair> MakeExamplePairs(const Column& source,
+                                          const Column& target,
+                                          const std::vector<RowPair>& pairs) {
+  std::vector<ExamplePair> out;
+  out.reserve(pairs.size());
+  for (const RowPair& p : pairs) {
+    out.push_back(ExamplePair{std::string(source.Get(p.source)),
+                              std::string(target.Get(p.target))});
+  }
+  return out;
+}
+
+}  // namespace tj

@@ -1,0 +1,31 @@
+// ExamplePair: one (source value, target value) row pair — the input grain of
+// transformation discovery (the paper's "joinable row pairs").
+
+#ifndef TJ_CORE_EXAMPLE_H_
+#define TJ_CORE_EXAMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+#include "table/table_pair.h"
+
+namespace tj {
+
+struct ExamplePair {
+  std::string source;
+  std::string target;
+
+  bool operator==(const ExamplePair& other) const {
+    return source == other.source && target == other.target;
+  }
+};
+
+/// Materializes the example pairs named by `pairs` from two join columns.
+std::vector<ExamplePair> MakeExamplePairs(const Column& source,
+                                          const Column& target,
+                                          const std::vector<RowPair>& pairs);
+
+}  // namespace tj
+
+#endif  // TJ_CORE_EXAMPLE_H_

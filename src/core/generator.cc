@@ -1,0 +1,106 @@
+#include "core/generator.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/skeleton.h"
+#include "core/unit_extraction.h"
+#include "text/lcp.h"
+
+namespace tj {
+
+void GenerateTransformationsForRow(std::string_view source,
+                                   std::string_view target,
+                                   const DiscoveryOptions& options,
+                                   UnitInterner* interner,
+                                   TransformationStore* store,
+                                   DiscoveryStats* stats) {
+  // Phase 1: placeholders and skeletons.
+  std::vector<Skeleton> skeletons;
+  {
+    ScopedTimer timer(&stats->time_placeholder_gen);
+    const LcpTable lcp = LcpTable::Build(source, target);
+    skeletons = EnumerateSkeletons(target, lcp, options);
+  }
+  if (skeletons.empty()) return;
+  stats->skeletons += skeletons.size();
+  stats->placeholders += static_cast<uint64_t>(skeletons[0].num_placeholders);
+
+  // Phase 2: candidate units per placeholder. Blocks are shared between the
+  // base skeleton and its tokenized variants, so memoize per (begin, end).
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<UnitId>> unit_memo;
+  auto candidates_for = [&](const SkeletonBlock& block)
+      -> const std::vector<UnitId>& {
+    const auto key = std::make_pair(block.begin, block.end);
+    auto it = unit_memo.find(key);
+    if (it != unit_memo.end()) return it->second;
+    std::vector<UnitId> units;
+    {
+      ScopedTimer timer(&stats->time_unit_extraction);
+      ExtractUnitsForPlaceholder(source, target, block, options, interner,
+                                 &units);
+    }
+    return unit_memo.emplace(key, std::move(units)).first->second;
+  };
+
+  // Phase 3: Cartesian product + hash-consing, bounded per row.
+  size_t remaining = options.max_transformations_per_row;
+  bool capped = false;
+  for (const Skeleton& skeleton : skeletons) {
+    if (remaining == 0) {
+      capped = true;
+      break;
+    }
+    // Slot lists: literals contribute a single fixed unit.
+    std::vector<const std::vector<UnitId>*> slots;
+    std::vector<std::vector<UnitId>> literal_slots;
+    literal_slots.reserve(skeleton.blocks.size());
+    bool dead_slot = false;
+    for (const SkeletonBlock& block : skeleton.blocks) {
+      if (block.is_placeholder) {
+        const auto& units = candidates_for(block);
+        if (units.empty()) {
+          dead_slot = true;
+          break;
+        }
+        slots.push_back(&units);
+      } else {
+        const std::string text(
+            target.substr(block.begin, block.end - block.begin));
+        literal_slots.push_back(
+            {interner->Intern(Unit::MakeLiteral(text))});
+        slots.push_back(&literal_slots.back());
+      }
+    }
+    if (dead_slot || slots.empty()) continue;
+
+    // Odometer over the Cartesian product.
+    std::vector<size_t> cursor(slots.size(), 0);
+    std::vector<UnitId> units(slots.size());
+    ScopedTimer timer(&stats->time_duplicate_removal);
+    for (;;) {
+      for (size_t i = 0; i < slots.size(); ++i) units[i] = (*slots[i])[cursor[i]];
+      Transformation t = Transformation::Normalized(units, interner);
+      store->Intern(std::move(t), options.enable_dedup);
+      ++stats->generated_transformations;
+      if (--remaining == 0) {
+        capped = true;
+        break;
+      }
+      // Advance the odometer.
+      size_t i = 0;
+      for (; i < slots.size(); ++i) {
+        if (++cursor[i] < slots[i]->size()) break;
+        cursor[i] = 0;
+      }
+      if (i == slots.size()) break;
+    }
+    if (remaining == 0) break;
+  }
+  if (capped) ++stats->rows_capped;
+}
+
+}  // namespace tj

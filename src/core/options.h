@@ -1,0 +1,67 @@
+// DiscoveryOptions: all knobs of the transformation-discovery pipeline.
+// Defaults follow the paper's experimental setup (§6.2): 3 placeholders,
+// TwoCharSplitSubstr disabled, no support threshold.
+
+#ifndef TJ_CORE_OPTIONS_H_
+#define TJ_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tj {
+
+struct DiscoveryOptions {
+  /// Maximum placeholders per skeleton (the paper's p / Auto-Join tree
+  /// depth). Skeletons above the cap are dropped; 3 in the paper's web,
+  /// open-data and synthetic experiments, 4 on spreadsheet data.
+  int max_placeholders = 3;
+
+  /// TwoCharSplitSubstr is implemented but excluded from the paper's
+  /// experiments (§6.2) to keep baselines tractable; default off.
+  bool enable_twochar_split_substr = false;
+
+  /// Break maximal-length placeholders at separator characters (paper
+  /// §4.1.3, Lemma 4 case 1). Ablation toggle.
+  bool tokenize_placeholders = true;
+
+  /// Hash-consing of generated transformations (pruning strategy 1).
+  /// Ablation toggle: when false duplicates are stored and evaluated.
+  bool enable_dedup = true;
+
+  /// Per-row negative-unit cache (pruning strategy 2). Ablation toggle.
+  bool enable_neg_cache = true;
+
+  /// Occurrence anchors kept per placeholder (paper §5.1 observes nearly all
+  /// placeholders have a single source match).
+  int max_matches_per_placeholder = 2;
+
+  /// Distinct split characters considered per placeholder when generating
+  /// SplitSubstr candidates.
+  int max_split_chars = 8;
+
+  /// Distinct characters on each side of an occurrence considered as
+  /// delimiters for TwoCharSplitSubstr candidates.
+  int max_twochar_neighbors = 3;
+
+  /// Hard cap on Cartesian-product transformations generated per row
+  /// (explosion guard; counted in DiscoveryStats::rows_capped).
+  size_t max_transformations_per_row = 4096;
+
+  /// Cap on tokenization variants per row (2^p growth guard).
+  size_t max_skeletons_per_row = 64;
+
+  /// Candidate units per placeholder slot (guard; rarely binding).
+  size_t max_units_per_placeholder = 64;
+
+  /// Minimum fraction of input rows a transformation must cover to be
+  /// eligible for the final solution (1% for the noisy open-data benchmark,
+  /// 0 elsewhere in Table 2).
+  double min_support_fraction = 0.0;
+
+  /// Number of top-coverage transformations reported.
+  size_t top_k = 10;
+};
+
+}  // namespace tj
+
+#endif  // TJ_CORE_OPTIONS_H_

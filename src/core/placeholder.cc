@@ -1,0 +1,39 @@
+#include "core/placeholder.h"
+
+namespace tj {
+
+Skeleton BuildMaximalSkeleton(const LcpTable& lcp, int max_matches) {
+  Skeleton skeleton;
+  const size_t tlen = lcp.target_length();
+  size_t j = 0;
+  while (j < tlen) {
+    const uint16_t len = lcp.LongestMatchAt(j);
+    if (len > 0) {
+      SkeletonBlock block;
+      block.is_placeholder = true;
+      block.begin = static_cast<uint32_t>(j);
+      block.end = static_cast<uint32_t>(j + len);
+      lcp.MatchPositions(j, len, &block.src_positions);
+      if (max_matches > 0 &&
+          block.src_positions.size() > static_cast<size_t>(max_matches)) {
+        block.src_positions.resize(static_cast<size_t>(max_matches));
+      }
+      skeleton.blocks.push_back(std::move(block));
+      ++skeleton.num_placeholders;
+      j += len;
+    } else {
+      // Merge the maximal run of non-occurring characters into one literal.
+      size_t k = j;
+      while (k < tlen && lcp.LongestMatchAt(k) == 0) ++k;
+      SkeletonBlock block;
+      block.is_placeholder = false;
+      block.begin = static_cast<uint32_t>(j);
+      block.end = static_cast<uint32_t>(k);
+      skeleton.blocks.push_back(std::move(block));
+      j = k;
+    }
+  }
+  return skeleton;
+}
+
+}  // namespace tj

@@ -1,0 +1,281 @@
+#include "core/serialization.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace tj {
+namespace {
+
+/// Incremental parser over a string_view.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  /// Parses a (possibly negative) decimal integer.
+  Result<int32_t> ParseInt() {
+    SkipSpace();
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Status::InvalidArgument("expected integer at offset " +
+                                     std::to_string(start));
+    }
+    return static_cast<int32_t>(
+        std::stol(std::string(text_.substr(start, pos_ - start))));
+  }
+
+  /// Parses a single-quoted string with EscapeForDisplay escapes.
+  Result<std::string> ParseQuoted() {
+    SkipSpace();
+    if (!Consume('\'')) {
+      return Status::InvalidArgument("expected opening quote");
+    }
+    std::string out;
+    while (!AtEnd()) {
+      char c = text_[pos_++];
+      if (c == '\'') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case '\'':
+          out.push_back('\'');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case 'x': {
+          if (pos_ + 2 > text_.size()) {
+            return Status::InvalidArgument("truncated \\x escape");
+          }
+          const std::string hex(text_.substr(pos_, 2));
+          pos_ += 2;
+          out.push_back(static_cast<char>(std::stoi(hex, nullptr, 16)));
+          break;
+        }
+        default:
+          return Status::InvalidArgument(
+              std::string("unknown escape: \\") + esc);
+      }
+    }
+    return Status::InvalidArgument("unterminated quoted string");
+  }
+
+  /// Parses a quoted string that must hold exactly one character.
+  Result<char> ParseQuotedChar() {
+    auto s = ParseQuoted();
+    if (!s.ok()) return s.status();
+    if (s->size() != 1) {
+      return Status::InvalidArgument("expected single-character delimiter");
+    }
+    return (*s)[0];
+  }
+
+  Result<Unit> ParseUnit();
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<Unit> Cursor::ParseUnit() {
+  SkipSpace();
+  if (ConsumeWord("Literal(")) {
+    auto str = ParseQuoted();
+    if (!str.ok()) return str.status();
+    if (!Consume(')')) return Status::InvalidArgument("expected ')'");
+    return Unit::MakeLiteral(std::move(*str));
+  }
+  // Note: "SplitSubstr(" must be tried before "Split(".
+  if (ConsumeWord("SplitSubstr(")) {
+    auto c = ParseQuotedChar();
+    if (!c.ok()) return c.status();
+    if (!Consume(',')) return Status::InvalidArgument("expected ','");
+    auto i = ParseInt();
+    if (!i.ok()) return i.status();
+    if (!Consume(',')) return Status::InvalidArgument("expected ','");
+    auto s = ParseInt();
+    if (!s.ok()) return s.status();
+    if (!Consume(',')) return Status::InvalidArgument("expected ','");
+    auto e = ParseInt();
+    if (!e.ok()) return e.status();
+    if (!Consume(')')) return Status::InvalidArgument("expected ')'");
+    return Unit::MakeSplitSubstr(*c, *i, *s, *e);
+  }
+  if (ConsumeWord("Split(")) {
+    auto c = ParseQuotedChar();
+    if (!c.ok()) return c.status();
+    if (!Consume(',')) return Status::InvalidArgument("expected ','");
+    auto i = ParseInt();
+    if (!i.ok()) return i.status();
+    if (!Consume(')')) return Status::InvalidArgument("expected ')'");
+    return Unit::MakeSplit(*c, *i);
+  }
+  if (ConsumeWord("Substr(")) {
+    auto s = ParseInt();
+    if (!s.ok()) return s.status();
+    if (!Consume(',')) return Status::InvalidArgument("expected ','");
+    auto e = ParseInt();
+    if (!e.ok()) return e.status();
+    if (!Consume(')')) return Status::InvalidArgument("expected ')'");
+    return Unit::MakeSubstr(*s, *e);
+  }
+  if (ConsumeWord("TwoCharSplitSubstr(")) {
+    auto c1 = ParseQuotedChar();
+    if (!c1.ok()) return c1.status();
+    if (!Consume(',')) return Status::InvalidArgument("expected ','");
+    auto c2 = ParseQuotedChar();
+    if (!c2.ok()) return c2.status();
+    if (!Consume(',')) return Status::InvalidArgument("expected ','");
+    auto i = ParseInt();
+    if (!i.ok()) return i.status();
+    if (!Consume(',')) return Status::InvalidArgument("expected ','");
+    auto s = ParseInt();
+    if (!s.ok()) return s.status();
+    if (!Consume(',')) return Status::InvalidArgument("expected ','");
+    auto e = ParseInt();
+    if (!e.ok()) return e.status();
+    if (!Consume(')')) return Status::InvalidArgument("expected ')'");
+    return Unit::MakeTwoCharSplitSubstr(*c1, *c2, *i, *s, *e);
+  }
+  return Status::InvalidArgument("unknown unit at offset " +
+                                 std::to_string(pos()));
+}
+
+}  // namespace
+
+Result<Unit> ParseUnit(std::string_view text) {
+  Cursor cursor(text);
+  auto unit = cursor.ParseUnit();
+  if (!unit.ok()) return unit.status();
+  cursor.SkipSpace();
+  if (!cursor.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after unit");
+  }
+  return unit;
+}
+
+Result<Transformation> ParseTransformation(std::string_view text,
+                                           UnitInterner* interner) {
+  Cursor cursor(text);
+  cursor.SkipSpace();
+  if (!cursor.Consume('<')) {
+    return Status::InvalidArgument("transformation must start with '<'");
+  }
+  std::vector<UnitId> ids;
+  cursor.SkipSpace();
+  if (!cursor.Consume('>')) {
+    for (;;) {
+      auto unit = cursor.ParseUnit();
+      if (!unit.ok()) return unit.status();
+      ids.push_back(interner->Intern(*unit));
+      cursor.SkipSpace();
+      if (cursor.Consume('>')) break;
+      if (!cursor.Consume(',')) {
+        return Status::InvalidArgument("expected ',' or '>'");
+      }
+    }
+  }
+  cursor.SkipSpace();
+  if (!cursor.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after '>'");
+  }
+  return Transformation(std::move(ids));
+}
+
+std::string SerializeTransformations(
+    const TransformationStore& store, const UnitInterner& units,
+    const std::vector<TransformationId>& ids) {
+  std::string out = "# transform-join rule set\n";
+  for (TransformationId id : ids) {
+    out += store.Get(id).ToString(units);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<TransformationSet> ParseTransformationSet(std::string_view text) {
+  TransformationSet set;
+  size_t begin = 0;
+  size_t line_number = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = TrimAscii(text.substr(begin, end - begin));
+    ++line_number;
+    begin = end + 1;
+    if (line.empty() || line[0] == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    auto t = ParseTransformation(line, &set.units);
+    if (!t.ok()) {
+      return Status::InvalidArgument(
+          StrPrintf("line %zu: %s", line_number, t.status().message().c_str()));
+    }
+    const auto [id, fresh] = set.store.Intern(std::move(*t));
+    if (fresh) set.ids.push_back(id);
+    if (end == text.size()) break;
+  }
+  return set;
+}
+
+Status SaveTransformationsToFile(const std::string& path,
+                                 const TransformationStore& store,
+                                 const UnitInterner& units,
+                                 const std::vector<TransformationId>& ids) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << SerializeTransformations(store, units, ids);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TransformationSet> LoadTransformationsFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTransformationSet(buf.str());
+}
+
+}  // namespace tj

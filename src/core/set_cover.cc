@@ -1,0 +1,78 @@
+#include "core/set_cover.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tj {
+namespace {
+
+struct HeapEntry {
+  uint32_t count;
+  TransformationId id;
+};
+
+struct HeapLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.count != b.count) return a.count < b.count;
+    return a.id > b.id;  // smaller id wins ties
+  }
+};
+
+}  // namespace
+
+std::vector<RankedTransformation> TopKByCoverage(const CoverageIndex& index,
+                                                 size_t k,
+                                                 uint32_t min_support) {
+  std::vector<RankedTransformation> all;
+  const size_t n = index.num_transformations();
+  for (TransformationId t = 0; t < n; ++t) {
+    const uint32_t c = index.Count(t);
+    if (c >= min_support && c > 0) all.push_back({t, c});
+  }
+  const size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(keep),
+                    all.end(), [](const auto& a, const auto& b) {
+                      if (a.coverage != b.coverage)
+                        return a.coverage > b.coverage;
+                      return a.id < b.id;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+SetCoverResult GreedySetCover(const CoverageIndex& index, size_t num_rows,
+                              const SetCoverOptions& options) {
+  SetCoverResult result;
+  result.covered.Resize(num_rows);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+  const size_t n = index.num_transformations();
+  for (TransformationId t = 0; t < n; ++t) {
+    const uint32_t c = index.Count(t);
+    if (c >= options.min_support && c > 0) heap.push({c, t});
+  }
+
+  while (!heap.empty() && result.selected.size() < options.max_sets &&
+         result.covered_rows < num_rows) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    // Recompute the marginal gain (counts only ever decrease).
+    uint32_t gain = 0;
+    for (uint32_t row : index.RowsOf(top.id)) {
+      if (!result.covered.Test(row)) ++gain;
+    }
+    if (gain == 0) continue;
+    if (!heap.empty() && gain < heap.top().count) {
+      heap.push({gain, top.id});  // stale: reinsert with the fresh gain
+      continue;
+    }
+    // Select.
+    for (uint32_t row : index.RowsOf(top.id)) result.covered.Set(row);
+    result.selected.push_back({top.id, index.Count(top.id)});
+    result.marginal_gains.push_back(gain);
+    result.covered_rows += gain;
+  }
+  return result;
+}
+
+}  // namespace tj

@@ -1,0 +1,32 @@
+// Skeleton enumeration (paper §4.1.3): from the canonical maximal-length
+// skeleton, derive the tokenized variants (each maximal placeholder may be
+// broken at separator characters, Lemma 4 case 1) plus the all-literal
+// skeleton, then drop skeletons exceeding the placeholder cap.
+
+#ifndef TJ_CORE_SKELETON_H_
+#define TJ_CORE_SKELETON_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/options.h"
+#include "core/placeholder.h"
+#include "text/lcp.h"
+
+namespace tj {
+
+/// Enumerates the candidate skeletons for one (source, target) row:
+///  * the canonical maximal-length-placeholder skeleton,
+///  * up to 2^p variants where any subset of placeholders is fully tokenized
+///    at separator characters (sub-placeholders re-anchored via `lcp`),
+///  * the all-literal skeleton <(L: target)>.
+/// Skeletons with more than options.max_placeholders placeholders are
+/// dropped; structural duplicates are removed. The result preserves the
+/// order: base first, variants, all-literal last.
+std::vector<Skeleton> EnumerateSkeletons(std::string_view target,
+                                         const LcpTable& lcp,
+                                         const DiscoveryOptions& options);
+
+}  // namespace tj
+
+#endif  // TJ_CORE_SKELETON_H_

@@ -1,0 +1,84 @@
+// DiscoveryStats: counters and per-phase wall times recorded by the
+// discovery pipeline. Table 4 and Figures 3/4 of the paper are printed
+// directly from this structure.
+
+#ifndef TJ_CORE_STATS_H_
+#define TJ_CORE_STATS_H_
+
+#include <cstdint>
+
+namespace tj {
+
+struct DiscoveryStats {
+  // --- Input shape ---
+  uint64_t rows = 0;
+  uint64_t skeletons = 0;
+  uint64_t placeholders = 0;
+
+  // --- Generation / dedup (pruning strategy 1) ---
+  /// Cartesian-product insert attempts ("Generated trans." in Table 4).
+  uint64_t generated_transformations = 0;
+  /// Distinct transformations after hash-consing ("Trans. to try").
+  uint64_t unique_transformations = 0;
+  /// Rows that hit max_transformations_per_row.
+  uint64_t rows_capped = 0;
+
+  // --- Coverage / negative-unit cache (pruning strategy 2) ---
+  /// (transformation, row) applications skipped because a unit was already
+  /// known not to cover the row.
+  uint64_t cache_hits = 0;
+  /// (transformation, row) pairs fully evaluated.
+  uint64_t full_evaluations = 0;
+  /// Individual unit evaluations performed.
+  uint64_t unit_evals = 0;
+  /// (transformation, row) pairs that covered.
+  uint64_t covering_pairs = 0;
+
+  // --- Phase wall times (seconds), the Figure 4 breakdown ---
+  double time_placeholder_gen = 0;   // LCP build + skeleton enumeration
+  double time_unit_extraction = 0;   // candidate units per placeholder
+  double time_duplicate_removal = 0; // Cartesian product + hash-consing
+  double time_apply = 0;             // coverage computation
+  double time_solution = 0;          // top-k + greedy set cover
+  double time_total = 0;
+
+  /// Fraction of generated transformations discarded as duplicates.
+  double DuplicateRatio() const {
+    if (generated_transformations == 0) return 0.0;
+    return 1.0 - static_cast<double>(unique_transformations) /
+                     static_cast<double>(generated_transformations);
+  }
+
+  /// Fraction of candidate (transformation, row) applications skipped by the
+  /// negative-unit cache.
+  double CacheHitRatio() const {
+    const uint64_t considered = cache_hits + full_evaluations;
+    if (considered == 0) return 0.0;
+    return static_cast<double>(cache_hits) / static_cast<double>(considered);
+  }
+
+  /// Element-wise accumulation (for dataset-level means over many tables).
+  DiscoveryStats& operator+=(const DiscoveryStats& other) {
+    rows += other.rows;
+    skeletons += other.skeletons;
+    placeholders += other.placeholders;
+    generated_transformations += other.generated_transformations;
+    unique_transformations += other.unique_transformations;
+    rows_capped += other.rows_capped;
+    cache_hits += other.cache_hits;
+    full_evaluations += other.full_evaluations;
+    unit_evals += other.unit_evals;
+    covering_pairs += other.covering_pairs;
+    time_placeholder_gen += other.time_placeholder_gen;
+    time_unit_extraction += other.time_unit_extraction;
+    time_duplicate_removal += other.time_duplicate_removal;
+    time_apply += other.time_apply;
+    time_solution += other.time_solution;
+    time_total += other.time_total;
+    return *this;
+  }
+};
+
+}  // namespace tj
+
+#endif  // TJ_CORE_STATS_H_

@@ -1,0 +1,81 @@
+#include "core/transformation.h"
+
+#include "common/hash.h"
+
+namespace tj {
+
+Transformation Transformation::Normalized(const std::vector<UnitId>& units,
+                                          UnitInterner* interner) {
+  std::vector<UnitId> out;
+  out.reserve(units.size());
+  std::string pending_literal;
+  bool has_pending = false;
+  auto flush = [&]() {
+    if (!has_pending) return;
+    out.push_back(interner->Intern(Unit::MakeLiteral(pending_literal)));
+    pending_literal.clear();
+    has_pending = false;
+  };
+  for (UnitId id : units) {
+    const Unit& u = interner->Get(id);
+    if (u.kind == UnitKind::kLiteral) {
+      pending_literal += u.literal;
+      has_pending = true;
+    } else {
+      flush();
+      out.push_back(id);
+    }
+  }
+  flush();
+  return Transformation(std::move(out));
+}
+
+std::optional<std::string> Transformation::Apply(
+    std::string_view source, const UnitInterner& interner) const {
+  std::string out;
+  for (UnitId id : units_) {
+    auto piece = interner.Get(id).Eval(source);
+    if (!piece.has_value()) return std::nullopt;
+    out.append(*piece);
+  }
+  return out;
+}
+
+bool Transformation::Covers(std::string_view source, std::string_view target,
+                            const UnitInterner& interner) const {
+  size_t offset = 0;
+  for (UnitId id : units_) {
+    auto piece = interner.Get(id).Eval(source);
+    if (!piece.has_value()) return false;
+    if (piece->size() > target.size() - offset) return false;
+    if (target.compare(offset, piece->size(), *piece) != 0) return false;
+    offset += piece->size();
+  }
+  return offset == target.size();
+}
+
+size_t Transformation::NumPlaceholderUnits(const UnitInterner& interner) const {
+  size_t n = 0;
+  for (UnitId id : units_) {
+    if (!interner.Get(id).IsConstant()) ++n;
+  }
+  return n;
+}
+
+std::string Transformation::ToString(const UnitInterner& interner) const {
+  std::string out = "<";
+  for (size_t i = 0; i < units_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += interner.Get(units_[i]).ToString();
+  }
+  out += ">";
+  return out;
+}
+
+uint64_t Transformation::Hash() const {
+  uint64_t h = Mix64(0x7472616e73ULL);  // "trans"
+  for (UnitId id : units_) h = HashCombine(h, id);
+  return h;
+}
+
+}  // namespace tj

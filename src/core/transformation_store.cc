@@ -1,0 +1,21 @@
+#include "core/transformation_store.h"
+
+namespace tj {
+
+std::pair<TransformationId, bool> TransformationStore::Intern(
+    Transformation t, bool dedup) {
+  ++insert_attempts_;
+  const uint64_t h = t.Hash();
+  auto& bucket = buckets_[h];
+  if (dedup) {
+    for (TransformationId id : bucket) {
+      if (items_[id] == t) return {id, false};
+    }
+  }
+  const auto id = static_cast<TransformationId>(items_.size());
+  items_.push_back(std::move(t));
+  bucket.push_back(id);
+  return {id, true};
+}
+
+}  // namespace tj

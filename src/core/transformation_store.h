@@ -1,0 +1,58 @@
+// TransformationStore: hash-consing store for transformations.
+//
+// Duplicate removal is the paper's first pruning strategy (§4.1.5): the same
+// transformation is generated independently by many rows, and only one copy
+// is kept. The store also counts insert attempts so the duplicate ratio of
+// Table 4 falls out for free.
+
+#ifndef TJ_CORE_TRANSFORMATION_STORE_H_
+#define TJ_CORE_TRANSFORMATION_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/transformation.h"
+
+namespace tj {
+
+using TransformationId = uint32_t;
+
+/// Append-only deduplicating store. Ids are dense in insertion order.
+class TransformationStore {
+ public:
+  TransformationStore() = default;
+
+  TransformationStore(const TransformationStore&) = delete;
+  TransformationStore& operator=(const TransformationStore&) = delete;
+  TransformationStore(TransformationStore&&) = default;
+  TransformationStore& operator=(TransformationStore&&) = default;
+
+  /// Interns `t`; returns its id and whether it was newly inserted. When
+  /// `dedup` is false (ablation mode) every call inserts a fresh copy.
+  std::pair<TransformationId, bool> Intern(Transformation t,
+                                           bool dedup = true);
+
+  const Transformation& Get(TransformationId id) const {
+    TJ_DCHECK(id < items_.size());
+    return items_[id];
+  }
+
+  /// Number of stored (unique, unless dedup was disabled) transformations.
+  size_t size() const { return items_.size(); }
+
+  /// Total Intern() calls, i.e. the paper's "generated transformations".
+  uint64_t insert_attempts() const { return insert_attempts_; }
+
+ private:
+  std::vector<Transformation> items_;
+  // hash -> candidate ids (collision chain resolved by full equality).
+  std::unordered_map<uint64_t, std::vector<TransformationId>> buckets_;
+  uint64_t insert_attempts_ = 0;
+};
+
+}  // namespace tj
+
+#endif  // TJ_CORE_TRANSFORMATION_STORE_H_

@@ -1,0 +1,55 @@
+// UnitInterner: dictionary-encodes transformation units into dense 32-bit
+// ids. Interning makes transformations cheap to hash/compare (vectors of
+// ids) and makes the per-row negative-unit cache an O(1) integer-set lookup
+// (paper §4.1.5).
+
+#ifndef TJ_CORE_UNIT_INTERNER_H_
+#define TJ_CORE_UNIT_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "core/unit.h"
+
+namespace tj {
+
+using UnitId = uint32_t;
+
+/// Append-only unit dictionary. Ids are dense and stable; Get() references
+/// remain valid across Intern() calls (deque storage).
+class UnitInterner {
+ public:
+  UnitInterner() = default;
+
+  UnitInterner(const UnitInterner&) = delete;
+  UnitInterner& operator=(const UnitInterner&) = delete;
+  UnitInterner(UnitInterner&&) = default;
+  UnitInterner& operator=(UnitInterner&&) = default;
+
+  /// Returns the id of `unit`, interning it if unseen.
+  UnitId Intern(const Unit& unit) {
+    auto it = ids_.find(unit);
+    if (it != ids_.end()) return it->second;
+    const UnitId id = static_cast<UnitId>(units_.size());
+    units_.push_back(unit);
+    ids_.emplace(units_.back(), id);
+    return id;
+  }
+
+  const Unit& Get(UnitId id) const {
+    TJ_DCHECK(id < units_.size());
+    return units_[id];
+  }
+
+  size_t size() const { return units_.size(); }
+
+ private:
+  std::deque<Unit> units_;
+  std::unordered_map<Unit, UnitId, UnitHash> ids_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_CORE_UNIT_INTERNER_H_

@@ -1,0 +1,88 @@
+#include "datagen/figure1.h"
+
+#include "common/logging.h"
+
+namespace tj {
+
+TablePair Figure1NamePhonePair() {
+  TablePair pair;
+  pair.name = "figure1-name-phone";
+
+  Table source("staff-departments");
+  TJ_CHECK(source
+               .AddColumn(Column("Name", {"Rafiei, Davood",
+                                          "Nascimento, Mario A",
+                                          "Gingrich, Douglas M",
+                                          "Prus-Czarnecki, Andrzej",
+                                          "Bowling, Michael",
+                                          "Gosgnach, Simon"}))
+               .ok());
+  TJ_CHECK(source
+               .AddColumn(Column("Department",
+                                 {"CS (2000)", "CS (1999)", "Physics (1993)",
+                                  "Physics (2000)", "CS (2003)",
+                                  "Physiology (2006)"}))
+               .ok());
+
+  Table target("staff-phones");
+  TJ_CHECK(target
+               .AddColumn(Column("Name", {"D Rafiei", "M A Nascimento",
+                                          "D Gingrich", "A Prus-Czarnecki",
+                                          "M Bowling", "S Gosgnach"}))
+               .ok());
+  TJ_CHECK(target
+               .AddColumn(Column("Phone",
+                                 {"(780) 433-6545", "(780) 428-2108",
+                                  "(780) 406-4565", "(780) 433-8303",
+                                  "(780) 471-0427", "(780) 432-4814"}))
+               .ok());
+
+  pair.source = std::move(source);
+  pair.target = std::move(target);
+  pair.source_join_column = 0;
+  pair.target_join_column = 0;
+  for (uint32_t i = 0; i < 6; ++i) pair.golden.Add(RowPair{i, i});
+  return pair;
+}
+
+TablePair Figure1NameEmailPair() {
+  TablePair pair;
+  pair.name = "figure1-name-email";
+
+  // Lowercased names: the paper's example ignores capitalization; our units
+  // copy bytes verbatim, so the benchmark variant is lowercase.
+  Table source("staff-departments");
+  TJ_CHECK(source
+               .AddColumn(Column("Name", {"rafiei, davood",
+                                          "nascimento, mario",
+                                          "gingrich, douglas",
+                                          "czarnecki, andrzej",
+                                          "bowling, michael",
+                                          "gosgnach, simon"}))
+               .ok());
+
+  Table target("course-contacts");
+  TJ_CHECK(target
+               .AddColumn(Column("Course", {"CMPUT 291", "CMPUT 391",
+                                            "PHYS 524", "PHYS 512",
+                                            "INTD 350", "N344"}))
+               .ok());
+  TJ_CHECK(target
+               .AddColumn(Column("Contact email",
+                                 {"drafiei@ualberta.ca",
+                                  "mario.nascimento@ualberta.ca",
+                                  "gingrich@ualberta.ca",
+                                  "andrzej.czarnecki@ualberta.ca",
+                                  "michael.bowling@ualberta.ca",
+                                  "gosgnach@ualberta.ca"}))
+               .ok());
+
+  pair.source = std::move(source);
+  pair.target = std::move(target);
+  pair.source_join_column = 0;
+  pair.target_join_column = 1;
+  for (uint32_t i = 0; i < 6; ++i) pair.golden.Add(RowPair{i, i});
+  return pair;
+}
+
+}  // namespace tj

@@ -1,0 +1,22 @@
+// The example tables of the paper's Figure 1 (University of Alberta staff
+// directories), used by the quickstart example and the end-to-end tests.
+
+#ifndef TJ_DATAGEN_FIGURE1_H_
+#define TJ_DATAGEN_FIGURE1_H_
+
+#include "table/table_pair.h"
+
+namespace tj {
+
+/// Right-hand pair of Figure 1: "Name, Department" joined with "Name, Phone"
+/// on the name column ("Rafiei, Davood" <-> "D Rafiei").
+TablePair Figure1NamePhonePair();
+
+/// Left-hand pair of Figure 1: "Name, Department" joined with
+/// "Course, Contact email" — names map to email addresses under several
+/// rules (lowercased variant so string transformations apply).
+TablePair Figure1NameEmailPair();
+
+}  // namespace tj
+
+#endif  // TJ_DATAGEN_FIGURE1_H_

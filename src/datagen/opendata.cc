@@ -1,0 +1,126 @@
+#include "datagen/opendata.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datagen/pools.h"
+
+namespace tj {
+namespace {
+
+/// A short assessment-style address like "10202 12 ST NW". The digit
+/// vocabulary is deliberately tiny ({0,1,2}) so every 4-6 gram repeats
+/// across hundreds of rows — n-gram matching then recalls the golden pairs
+/// (full addresses are still mostly unique) but drowns in false positives,
+/// reproducing the paper's P=0.01 / R=0.92 shape.
+std::string AssessmentAddress(Rng* rng) {
+  std::string house;
+  house.push_back(static_cast<char>('1' + rng->Uniform(2)));  // 1 or 2
+  for (int i = 0; i < 4; ++i) {
+    house.push_back(static_cast<char>('0' + rng->Uniform(3)));  // 0..2
+  }
+  const int street = static_cast<int>(rng->UniformInt(1, 12));
+  const char* kind = rng->Bernoulli(0.6) ? "ST" : "AVE";
+  const char* quad = rng->Bernoulli(0.7) ? "NW" : "SW";
+  return StrPrintf("%s %d %s %s", house.c_str(), street, kind, quad);
+}
+
+}  // namespace
+
+TablePair GenerateOpenData(const OpenDataOptions& options) {
+  Rng rng(options.seed);
+  TablePair pair;
+  pair.name = "open-data";
+
+  std::vector<std::string> sources;   // directory style (longer)
+  std::vector<std::string> targets;   // assessment style
+  std::vector<RowPair> golden_links;  // source idx -> target idx (pre-shuffle)
+
+  // Filler drawn from small pools: it dilutes token-overlap similarity
+  // (defeating similarity-only joiners, as the paper observes for AFJ on
+  // this data) without creating distinctive n-grams that would help the
+  // row matcher. A *variable* number of filler tokens spreads the true-pair
+  // similarities so that no single threshold separates true from false —
+  // the property that caps AFJ's quality on the paper's open data.
+  const char* kPostal[] = {"T5J 2R4", "T6G 2E8", "T5K 0L5", "T6E 1A7",
+                           "T5N 3W6", "T6H 4M9", "T5B 0S1", "T6C 2G3"};
+  const char* kExtras[] = {"CANADA", "ALBERTA", "RES", "LISTED"};
+  auto filler = [&](Rng* r) {
+    std::string out = kPostal[r->Uniform(8)];
+    const size_t k = 1 + r->Uniform(4);  // 1..4 extra tokens
+    for (size_t e = 0; e < k; ++e) {
+      out += " ";
+      out += kExtras[(e + r->Uniform(2)) % 4];
+    }
+    return out;
+  };
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    const std::string address = AssessmentAddress(&rng);
+    const std::string suffix = filler(&rng);
+    std::string directory;
+    if (rng.Bernoulli(options.uncoverable_fraction)) {
+      // Schemes a copy-based transformation cannot bridge (e.g. the
+      // directory spells out STREET while the assessment says ST).
+      std::string spelled = address;
+      const size_t at = spelled.find(" ST ");
+      if (at != std::string::npos) spelled.replace(at, 4, " STREET ");
+      directory = spelled + ", EDMONTON AB " + suffix;
+    } else if (rng.Bernoulli(options.secondary_rule_fraction)) {
+      directory = "EDMONTON AB " + suffix + "|" + address;
+    } else {
+      directory = address + ", EDMONTON AB " + suffix;
+    }
+    const auto src_idx = static_cast<uint32_t>(sources.size());
+    const auto tgt_idx = static_cast<uint32_t>(targets.size());
+    sources.push_back(directory);
+    targets.push_back(address);
+    golden_links.push_back(RowPair{src_idx, tgt_idx});
+    // Occasional duplicate source entry pointing at the same target entity.
+    if (rng.Bernoulli(options.duplicate_fraction)) {
+      sources.push_back(directory);
+      golden_links.push_back(
+          RowPair{static_cast<uint32_t>(sources.size() - 1), tgt_idx});
+    }
+  }
+
+  // Unmatched extras.
+  const auto extras = static_cast<size_t>(
+      options.unmatched_fraction * static_cast<double>(options.num_rows));
+  for (size_t i = 0; i < extras; ++i) {
+    sources.push_back(AssessmentAddress(&rng) + ", EDMONTON AB " +
+                      filler(&rng));
+    targets.push_back(AssessmentAddress(&rng));
+  }
+
+  // Shuffle target order, remap golden links.
+  std::vector<uint32_t> order(targets.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  std::vector<uint32_t> new_pos(targets.size());
+  for (uint32_t j = 0; j < order.size(); ++j) new_pos[order[j]] = j;
+  std::vector<std::string> target_column(targets.size());
+  for (uint32_t j = 0; j < order.size(); ++j) {
+    target_column[j] = targets[order[j]];
+  }
+
+  Table source_table("whitepages");
+  TJ_CHECK(
+      source_table.AddColumn(Column("address", std::move(sources))).ok());
+  Table target_table("assessments");
+  TJ_CHECK(
+      target_table.AddColumn(Column("address", std::move(target_column)))
+          .ok());
+  pair.source = std::move(source_table);
+  pair.target = std::move(target_table);
+  pair.source_join_column = 0;
+  pair.target_join_column = 0;
+  for (const RowPair& link : golden_links) {
+    pair.golden.Add(RowPair{link.source, new_pos[link.target]});
+  }
+  return pair;
+}
+
+}  // namespace tj

@@ -1,0 +1,41 @@
+// Open-government-data benchmark stand-in (DESIGN.md §4): property-assessment
+// style addresses joined with directory-style addresses. House and street
+// numbers are drawn from small pools so short n-grams are shared across
+// hundreds of rows — n-gram row matching then recalls nearly every golden
+// pair but drowns in false positives (precision ~0.01 in the paper's Table
+// 1), which exercises the sampling + support-threshold path of discovery.
+
+#ifndef TJ_DATAGEN_OPENDATA_H_
+#define TJ_DATAGEN_OPENDATA_H_
+
+#include <cstdint>
+
+#include "table/table_pair.h"
+
+namespace tj {
+
+struct OpenDataOptions {
+  /// Matched address entities (the paper's benchmark has 3808 rows; the
+  /// default is scaled down so benches stay laptop-friendly).
+  size_t num_rows = 600;
+  /// Fraction of matched rows formatted by the secondary (pipe-delimited)
+  /// directory rule.
+  double secondary_rule_fraction = 0.2;
+  /// Fraction of rows whose directory entry uses an abbreviation scheme no
+  /// string transformation can bridge (uncoverable).
+  double uncoverable_fraction = 0.1;
+  /// Duplicate source entries (the source column is not a key, which is what
+  /// defeats similarity-only joiners).
+  double duplicate_fraction = 0.2;
+  /// Unmatched extra rows per side, as a fraction of num_rows.
+  double unmatched_fraction = 0.15;
+  uint64_t seed = 17;
+};
+
+/// Source = directory-style (longer, more descriptive); target =
+/// assessment-style short addresses.
+TablePair GenerateOpenData(const OpenDataOptions& options);
+
+}  // namespace tj
+
+#endif  // TJ_DATAGEN_OPENDATA_H_

@@ -1,0 +1,140 @@
+#include "datagen/pools.h"
+
+namespace tj {
+namespace pools {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kNames = {
+      "james",   "mary",    "robert",  "patricia", "john",    "jennifer",
+      "michael", "linda",   "david",   "elizabeth", "william", "barbara",
+      "richard", "susan",   "joseph",  "jessica",  "thomas",  "sarah",
+      "charles", "karen",   "daniel",  "lisa",     "matthew", "nancy",
+      "anthony", "betty",   "mark",    "margaret", "donald",  "sandra",
+      "steven",  "ashley",  "paul",    "kimberly", "andrew",  "emily",
+      "joshua",  "donna",   "kenneth", "michelle", "kevin",   "dorothy",
+      "brian",   "carol",   "george",  "amanda",   "edward",  "melissa",
+      "ronald",  "deborah", "timothy", "stephanie", "jason",   "rebecca",
+      "jeffrey", "sharon",  "ryan",    "laura",    "jacob",   "cynthia",
+      "gary",    "kathleen", "nicholas", "amy",     "eric",    "angela",
+      "jonathan", "shirley", "stephen", "anna",     "larry",   "brenda",
+      "justin",  "pamela",  "scott",   "emma",     "brandon", "nicole",
+      "benjamin", "helen",  "samuel",  "samantha", "gregory", "katherine",
+      "frank",   "christine", "alexander", "debra", "raymond", "rachel",
+      "patrick", "carolyn", "jack",    "janet",    "dennis",  "catherine",
+      "jerry",   "maria",   "tyler",   "heather",  "aaron",   "diane",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kNames = {
+      "smith",    "johnson",  "williams", "brown",    "jones",    "garcia",
+      "miller",   "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+      "gonzalez", "wilson",   "anderson", "thomas",   "taylor",   "moore",
+      "jackson",  "martin",   "lee",      "perez",    "thompson", "white",
+      "harris",   "sanchez",  "clark",    "ramirez",  "lewis",    "robinson",
+      "walker",   "young",    "allen",    "king",     "wright",   "scott",
+      "torres",   "nguyen",   "hill",     "flores",   "green",    "adams",
+      "nelson",   "baker",    "hall",     "rivera",   "campbell", "mitchell",
+      "carter",   "roberts",  "gomez",    "phillips", "evans",    "turner",
+      "diaz",     "parker",   "cruz",     "edwards",  "collins",  "reyes",
+      "stewart",  "morris",   "morales",  "murphy",   "cook",     "rogers",
+      "gutierrez", "ortiz",   "morgan",   "cooper",   "peterson", "bailey",
+      "reed",     "kelly",    "howard",   "ramos",    "kim",      "cox",
+      "ward",     "richardson", "watson", "brooks",   "chavez",   "wood",
+      "james",    "bennett",  "gray",     "mendoza",  "ruiz",     "hughes",
+      "price",    "alvarez",  "castillo", "sanders",  "patel",    "myers",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& StreetNames() {
+  static const std::vector<std::string> kNames = {
+      "MAIN",    "OAK",     "PINE",    "MAPLE",  "CEDAR",  "ELM",
+      "BIRCH",   "ASPEN",   "SPRUCE",  "WILLOW", "JASPER", "WHYTE",
+      "SASKATCHEWAN", "UNIVERSITY", "COLLEGE", "PARK",  "LAKE",   "RIVER",
+      "HILL",    "CHURCH",  "MILL",    "BRIDGE", "STATION", "MARKET",
+      "GROVE",   "SUNSET",  "MEADOW",  "FOREST", "GARDEN",  "VALLEY",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string> kCities = {
+      "Edmonton",  "Calgary",   "Vancouver", "Toronto",   "Montreal",
+      "Ottawa",    "Winnipeg",  "Saskatoon", "Regina",    "Halifax",
+      "Victoria",  "Hamilton",  "Kitchener", "London",    "Windsor",
+      "Kelowna",   "Kingston",  "Guelph",    "Moncton",   "Brandon",
+      "Burnaby",   "Laval",     "Markham",   "Gatineau",  "Longueuil",
+      "Sherbrooke", "Lethbridge", "Nanaimo",  "Kamloops",  "Brantford",
+      "Sudbury",   "Barrie",    "Oshawa",    "Richmond",  "Burlington",
+      "Oakville",  "Waterloo",  "Delta",     "Chilliwack", "Airdrie",
+  };
+  return kCities;
+}
+
+const std::vector<std::string>& CompanyWords() {
+  static const std::vector<std::string> kWords = {
+      "Acme",    "Global",  "United",  "Pioneer", "Summit",   "Apex",
+      "Vertex",  "Quantum", "Stellar", "Pacific", "Northern", "Prairie",
+      "Granite", "Cascade", "Horizon", "Beacon",  "Keystone", "Anchor",
+      "Fusion",  "Vector",  "Matrix",  "Nexus",   "Zenith",   "Aurora",
+      "Falcon",  "Harbor",  "Juniper", "Kodiak",  "Lumen",    "Meridian",
+      "Nimbus",  "Obsidian", "Pinnacle", "Quartz", "Redwood",  "Sequoia",
+      "Tundra",  "Umbra",   "Vista",   "Wavelet",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& Domains() {
+  static const std::vector<std::string> kDomains = {
+      "ualberta.ca", "gmail.com",   "outlook.com", "yahoo.com",
+      "ucalgary.ca", "utoronto.ca", "mcgill.ca",   "example.org",
+      "mail.com",    "proton.me",
+  };
+  return kDomains;
+}
+
+const std::vector<std::string>& CourseSubjects() {
+  static const std::vector<std::string> kSubjects = {
+      "CMPUT", "PHYS", "MATH", "STAT", "CHEM", "BIOL",
+      "ECON",  "PSYC", "HIST", "ENGL", "INTD", "MECE",
+  };
+  return kSubjects;
+}
+
+const std::vector<Country>& Countries() {
+  static const std::vector<Country> kCountries = {
+      {"United States", "USA"}, {"Canada", "CAN"},   {"Mexico", "MEX"},
+      {"Brazil", "BRA"},        {"Argentina", "ARG"}, {"France", "FRA"},
+      {"Germany", "DEU"},       {"Italy", "ITA"},    {"Spain", "ESP"},
+      {"Portugal", "PRT"},      {"Japan", "JPN"},    {"China", "CHN"},
+      {"India", "IND"},         {"Australia", "AUS"}, {"Norway", "NOR"},
+      {"Sweden", "SWE"},        {"Finland", "FIN"},  {"Poland", "POL"},
+      {"Austria", "AUT"},       {"Belgium", "BEL"},  {"Ireland", "IRL"},
+      {"Iceland", "ISL"},       {"Greece", "GRC"},   {"Turkey", "TUR"},
+  };
+  return kCountries;
+}
+
+std::string Capitalize(std::string_view word) {
+  std::string out(word);
+  if (!out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  }
+  return out;
+}
+
+std::string RandomDigits(Rng* rng, size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    const char lo = (i == 0) ? '1' : '0';
+    out.push_back(static_cast<char>(
+        lo + static_cast<char>(rng->Uniform(static_cast<uint64_t>('9' - lo + 1)))));
+  }
+  return out;
+}
+
+}  // namespace pools
+}  // namespace tj

@@ -1,0 +1,54 @@
+// Shared word pools for the realistic dataset generators (names, streets,
+// cities, domains, ...). Pools are fixed arrays so generation is fully
+// deterministic given a seed.
+
+#ifndef TJ_DATAGEN_POOLS_H_
+#define TJ_DATAGEN_POOLS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tj {
+namespace pools {
+
+/// Common given names (lowercase; generators recase as needed).
+const std::vector<std::string>& FirstNames();
+
+/// Common family names (lowercase).
+const std::vector<std::string>& LastNames();
+
+/// Street names for address generators (uppercase tokens).
+const std::vector<std::string>& StreetNames();
+
+/// City names.
+const std::vector<std::string>& Cities();
+
+/// Company-ish words for stock/business generators.
+const std::vector<std::string>& CompanyWords();
+
+/// Email domains.
+const std::vector<std::string>& Domains();
+
+/// Course subject codes.
+const std::vector<std::string>& CourseSubjects();
+
+/// Country (name, 3-letter code) pairs.
+struct Country {
+  std::string name;
+  std::string code;
+};
+const std::vector<Country>& Countries();
+
+/// Uppercases the first letter (ASCII).
+std::string Capitalize(std::string_view word);
+
+/// Random digit string of exactly `len` digits, first digit non-zero.
+std::string RandomDigits(Rng* rng, size_t len);
+
+}  // namespace pools
+}  // namespace tj
+
+#endif  // TJ_DATAGEN_POOLS_H_

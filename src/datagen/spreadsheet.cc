@@ -1,0 +1,256 @@
+#include "datagen/spreadsheet.h"
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datagen/pools.h"
+
+namespace tj {
+namespace {
+
+using pools::Capitalize;
+using pools::RandomDigits;
+
+struct TaskRow {
+  std::string source;
+  std::string target;
+};
+
+/// An archetype is parameterized by `variant` (0..5) so the 18 archetypes
+/// yield 108 distinct tasks.
+struct Archetype {
+  const char* name;
+  std::function<TaskRow(Rng*, size_t variant)> generate;
+};
+
+const std::vector<Archetype>& Archetypes() {
+  static const std::vector<Archetype> kArchetypes = {
+      {"first-name",
+       [](Rng* rng, size_t v) {
+         const std::string first = rng->PickOne(pools::FirstNames());
+         const std::string last = rng->PickOne(pools::LastNames());
+         const char sep = (v % 2 == 0) ? ' ' : '_';
+         return TaskRow{first + sep + last, first};
+       }},
+      {"last-name",
+       [](Rng* rng, size_t v) {
+         const std::string first = rng->PickOne(pools::FirstNames());
+         const std::string last = rng->PickOne(pools::LastNames());
+         const char sep = (v % 2 == 0) ? ' ' : ',';
+         return TaskRow{first + sep + last, last};
+       }},
+      {"abbrev-name",
+       [](Rng* rng, size_t v) {
+         const std::string first = Capitalize(rng->PickOne(pools::FirstNames()));
+         const std::string last = Capitalize(rng->PickOne(pools::LastNames()));
+         if (v % 2 == 0) {
+           return TaskRow{first + " " + last, first.substr(0, 1) + ". " + last};
+         }
+         return TaskRow{first + " " + last, last + ", " + first.substr(0, 1)};
+       }},
+      {"phone-digits",
+       [](Rng* rng, size_t v) {
+         const std::string area = RandomDigits(rng, 3);
+         const std::string mid = RandomDigits(rng, 3);
+         const std::string tail = RandomDigits(rng, 4);
+         if (v % 2 == 0) {
+           return TaskRow{"(" + area + ") " + mid + "-" + tail,
+                          area + mid + tail};
+         }
+         return TaskRow{area + "-" + mid + "-" + tail,
+                        "(" + area + ") " + mid + " " + tail};
+       }},
+      {"date-reformat",
+       [](Rng* rng, size_t v) {
+         const std::string y = StrPrintf(
+             "%d", static_cast<int>(rng->UniformInt(1900, 2024)));
+         const std::string m = StrPrintf(
+             "%02d", static_cast<int>(rng->UniformInt(1, 12)));
+         const std::string d = StrPrintf(
+             "%02d", static_cast<int>(rng->UniformInt(1, 28)));
+         if (v % 2 == 0) return TaskRow{m + "/" + d + "/" + y, y + "-" + m + "-" + d};
+         return TaskRow{y + "-" + m + "-" + d, d + "/" + m + "/" + y};
+       }},
+      {"email-user",
+       [](Rng* rng, size_t v) {
+         const std::string user = rng->PickOne(pools::FirstNames()) +
+                                  RandomDigits(rng, 1 + v % 3);
+         const std::string domain = rng->PickOne(pools::Domains());
+         return TaskRow{user + "@" + domain, user};
+       }},
+      {"email-extract",
+       [](Rng* rng, size_t v) {
+         // Pull the address out of a "Contact: user@domain" cell.
+         const std::string user = rng->PickOne(pools::FirstNames()) +
+                                  RandomDigits(rng, 1 + v % 3);
+         const std::string domain = rng->PickOne(pools::Domains());
+         const std::string email = user + "@" + domain;
+         const char* prefixes[] = {"Contact:", "Email:", "Reply-to:"};
+         return TaskRow{std::string(prefixes[v % 3]) + " " + email, email};
+       }},
+      {"url-host",
+       [](Rng* rng, size_t v) {
+         const std::string host = "www." +
+                                  rng->PickOne(pools::CompanyWords()) +
+                                  RandomDigits(rng, 2) + ".com";
+         const std::string path = rng->PickOne(pools::LastNames());
+         const std::string scheme = (v % 2 == 0) ? "https" : "http";
+         return TaskRow{scheme + "://" + host + "/" + path, host};
+       }},
+      {"strip-extension",
+       [](Rng* rng, size_t v) {
+         const char* exts[] = {"pdf", "txt", "csv", "xls", "doc", "png"};
+         const std::string base = rng->PickOne(pools::CompanyWords()) +
+                                  RandomDigits(rng, 3);
+         return TaskRow{base + "." + exts[v % 6], base};
+       }},
+      {"path-basename",
+       [](Rng* rng, size_t v) {
+         const std::string dir1 = (v % 2 == 0) ? "home" : "data";
+         const std::string dir2 = rng->PickOne(pools::FirstNames());
+         const std::string file = rng->PickOne(pools::CompanyWords()) +
+                                  RandomDigits(rng, 2) + ".txt";
+         return TaskRow{"/" + dir1 + "/" + dir2 + "/" + file, file};
+       }},
+      {"order-code",
+       [](Rng* rng, size_t v) {
+         const char* prefixes[] = {"ORD", "INV", "PO", "REQ", "TKT", "REF"};
+         const std::string year = StrPrintf(
+             "%d", static_cast<int>(rng->UniformInt(2015, 2024)));
+         const std::string serial = RandomDigits(rng, 5);
+         return TaskRow{std::string(prefixes[v % 6]) + "-" + year + "-" + serial,
+                        serial};
+       }},
+      {"concat-names",
+       [](Rng* rng, size_t v) {
+         const std::string first = rng->PickOne(pools::FirstNames());
+         const std::string last = rng->PickOne(pools::LastNames());
+         const char sep = (v % 2 == 0) ? '|' : ';';
+         return TaskRow{first + sep + last, first + " " + last};
+       }},
+      {"title-year",
+       [](Rng* rng, size_t v) {
+         const std::string title = "The " +
+                                   Capitalize(rng->PickOne(pools::CompanyWords()));
+         const std::string year = StrPrintf(
+             "%d", static_cast<int>(rng->UniformInt(1950, 2024)));
+         if (v % 2 == 0) return TaskRow{title + " (" + year + ")", year};
+         return TaskRow{title + " (" + year + ")", title + " - " + year};
+       }},
+      {"currency-strip",
+       [](Rng* rng, size_t v) {
+         const std::string dollars = RandomDigits(rng, 1 + v % 3);
+         const std::string cents = RandomDigits(rng, 2);
+         return TaskRow{"$" + dollars + "." + cents, dollars + "." + cents};
+       }},
+      {"time-trim",
+       [](Rng* rng, size_t v) {
+         const std::string h = StrPrintf(
+             "%02d", static_cast<int>(rng->UniformInt(0, 23)));
+         const std::string m = StrPrintf(
+             "%02d", static_cast<int>(rng->UniformInt(0, 59)));
+         const std::string s = StrPrintf(
+             "%02d", static_cast<int>(rng->UniformInt(0, 59)));
+         if (v % 2 == 0) return TaskRow{h + ":" + m + ":" + s, h + ":" + m};
+         return TaskRow{h + ":" + m + ":" + s, m + ":" + s};
+       }},
+      {"percent-strip",
+       [](Rng* rng, size_t v) {
+         const std::string whole = RandomDigits(rng, 1 + v % 2);
+         const std::string frac = RandomDigits(rng, 2);
+         const std::string value = whole + "." + frac;
+         return TaskRow{value + "% off", value};
+       }},
+      {"postal-code",
+       [](Rng* rng, size_t v) {
+         const std::string city = rng->PickOne(pools::Cities());
+         const std::string prov = (v % 2 == 0) ? "AB" : "ON";
+         std::string code;
+         for (int i = 0; i < 6; ++i) {
+           code.push_back(i % 2 == 0
+                              ? static_cast<char>('A' + rng->Uniform(26))
+                              : static_cast<char>('0' + rng->Uniform(10)));
+         }
+         return TaskRow{city + " " + prov + " " + code, code};
+       }},
+      {"log-reorder",
+       [](Rng* rng, size_t v) {
+         // "[INFO] Anchor42" -> "Anchor42 INFO": message first, level after.
+         const char* levels[] = {"INFO", "WARN", "DBUG", "TRCE"};
+         const std::string level = levels[rng->Uniform(4)];
+         const std::string msg = rng->PickOne(pools::CompanyWords()) +
+                                 RandomDigits(rng, 2 + v % 2);
+         return TaskRow{"[" + level + "] " + msg, msg + " " + level};
+       }},
+  };
+  return kArchetypes;
+}
+
+}  // namespace
+
+size_t SpreadsheetArchetypeCount() { return Archetypes().size(); }
+
+std::vector<TablePair> GenerateSpreadsheet(const SpreadsheetOptions& options) {
+  std::vector<TablePair> tasks;
+  const auto& archetypes = Archetypes();
+  Rng rng(options.seed);
+  for (size_t t = 0; t < options.num_tasks; ++t) {
+    const Archetype& archetype = archetypes[t % archetypes.size()];
+    const size_t variant = t / archetypes.size();
+    const size_t rows = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(options.min_rows),
+        static_cast<int64_t>(options.max_rows)));
+
+    TablePair pair;
+    pair.name = StrPrintf("sheet-%03zu-%s-v%zu", t, archetype.name, variant);
+    std::vector<std::string> sources;
+    std::vector<std::string> targets;
+    std::unordered_set<std::string, StringHash, StringEq> seen;
+    std::unordered_set<std::string, StringHash, StringEq> seen_targets;
+    size_t guard = 0;
+    while (sources.size() < rows && guard++ < rows * 50) {
+      TaskRow row = archetype.generate(&rng, variant);
+      // Unique on both sides so the golden 1-1 matching is well-defined.
+      if (seen.count(row.source) > 0 || seen_targets.count(row.target) > 0) {
+        continue;
+      }
+      seen.insert(row.source);
+      seen_targets.insert(row.target);
+      if (rng.Bernoulli(options.noise_fraction)) {
+        row.target += "?";  // uncoverable noise row
+      }
+      sources.push_back(std::move(row.source));
+      targets.push_back(std::move(row.target));
+    }
+
+    std::vector<uint32_t> order(targets.size());
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(&order);
+    std::vector<std::string> target_column(targets.size());
+    for (uint32_t j = 0; j < order.size(); ++j) {
+      target_column[j] = targets[order[j]];
+    }
+
+    Table source_table(pair.name + "-src");
+    TJ_CHECK(source_table.AddColumn(Column("value", std::move(sources))).ok());
+    Table target_table(pair.name + "-tgt");
+    TJ_CHECK(target_table.AddColumn(Column("value", std::move(target_column)))
+                 .ok());
+    pair.source = std::move(source_table);
+    pair.target = std::move(target_table);
+    pair.source_join_column = 0;
+    pair.target_join_column = 0;
+    for (uint32_t j = 0; j < order.size(); ++j) {
+      pair.golden.Add(RowPair{order[j], j});
+    }
+    tasks.push_back(std::move(pair));
+  }
+  return tasks;
+}
+
+}  // namespace tj

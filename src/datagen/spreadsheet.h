@@ -1,0 +1,34 @@
+// Spreadsheet benchmark stand-in (DESIGN.md §4): 108 FlashFill/BlinkFill-
+// style data-cleaning tasks (~34 rows each), built from 18 task archetypes
+// with parameter variants — name extraction, initials, phone/date
+// normalization, url/email parts, fixed-width codes, etc. Tables are mostly
+// clean and usually joinable under a single transformation, mirroring the
+// SyGuS-Comp'16 public benchmarks.
+
+#ifndef TJ_DATAGEN_SPREADSHEET_H_
+#define TJ_DATAGEN_SPREADSHEET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table_pair.h"
+
+namespace tj {
+
+struct SpreadsheetOptions {
+  size_t num_tasks = 108;
+  size_t min_rows = 25;
+  size_t max_rows = 45;
+  /// Small per-task probability of one noisy row (the public benchmarks are
+  /// curated but not spotless).
+  double noise_fraction = 0.01;
+  uint64_t seed = 13;
+};
+
+size_t SpreadsheetArchetypeCount();
+
+std::vector<TablePair> GenerateSpreadsheet(const SpreadsheetOptions& options);
+
+}  // namespace tj
+
+#endif  // TJ_DATAGEN_SPREADSHEET_H_

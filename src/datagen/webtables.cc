@@ -1,0 +1,365 @@
+#include "datagen/webtables.h"
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datagen/pools.h"
+
+namespace tj {
+namespace {
+
+using pools::Capitalize;
+using pools::RandomDigits;
+
+/// One generated entity: a source value and one target value per formatting
+/// rule of the topic.
+struct TopicRow {
+  std::string source;
+  std::vector<std::string> targets;
+  /// Optional uniqueness key (e.g. the last name): two rows with the same
+  /// key share too much text for a clean 1-1 benchmark, so one is rejected.
+  std::string dedup_key;
+};
+
+struct Topic {
+  const char* name;
+  std::function<TopicRow(Rng*)> generate;
+};
+
+const std::vector<Topic>& Topics() {
+  static const std::vector<Topic> kTopics = {
+      {"staff-names",
+       [](Rng* rng) {
+         const std::string first = Capitalize(rng->PickOne(pools::FirstNames()));
+         const std::string last = Capitalize(rng->PickOne(pools::LastNames()));
+         TopicRow row;
+         row.source = last + ", " + first;
+         row.targets = {first.substr(0, 1) + " " + last, first + " " + last};
+         row.dedup_key = last;  // one row per family name
+         return row;
+       }},
+      {"name-emails",
+       [](Rng* rng) {
+         const std::string first = rng->PickOne(pools::FirstNames());
+         const std::string last = rng->PickOne(pools::LastNames());
+         TopicRow row;
+         row.source = last + ", " + first;
+         row.targets = {first + "." + last + "@ualberta.ca",
+                        first.substr(0, 1) + last + "@ualberta.ca"};
+         row.dedup_key = last;
+         return row;
+       }},
+      {"phones",
+       [](Rng* rng) {
+         const std::string area = RandomDigits(rng, 3);
+         const std::string mid = RandomDigits(rng, 3);
+         const std::string tail = RandomDigits(rng, 4);
+         TopicRow row;
+         row.source = "(" + area + ") " + mid + "-" + tail;
+         row.targets = {"+1 " + area + " " + mid + "-" + tail,
+                        area + "-" + mid + "-" + tail};
+         return row;
+       }},
+      {"dates",
+       [](Rng* rng) {
+         const std::string y = StrPrintf("%d", static_cast<int>(
+                                                  rng->UniformInt(1900, 2024)));
+         const std::string m = StrPrintf("%02d",
+                                         static_cast<int>(rng->UniformInt(1, 12)));
+         const std::string d = StrPrintf("%02d",
+                                         static_cast<int>(rng->UniformInt(1, 28)));
+         TopicRow row;
+         row.source = y + "-" + m + "-" + d;
+         row.targets = {m + "/" + d + "/" + y, d + "." + m + "." + y};
+         return row;
+       }},
+      {"governors",
+       [](Rng* rng) {
+         const std::string name = Capitalize(rng->PickOne(pools::FirstNames())) +
+                                  " " +
+                                  Capitalize(rng->PickOne(pools::LastNames()));
+         const char* party = rng->Bernoulli(0.5) ? "R" : "D";
+         TopicRow row;
+         row.source = name + "(" + party + ")";
+         row.targets = {"Gov. " + name, name};
+         return row;
+       }},
+      {"cities",
+       [](Rng* rng) {
+         // Ward number keeps the entity space larger than the table size.
+         const std::string city = rng->PickOne(pools::Cities()) + " Ward " +
+                                  RandomDigits(rng, 3);
+         const std::string prov = rng->Bernoulli(0.5) ? "AB" : "BC";
+         TopicRow row;
+         row.source = city + ", " + prov + ", Canada";
+         row.targets = {city, city + " (" + prov + ")"};
+         return row;
+       }},
+      {"courses",
+       [](Rng* rng) {
+         const std::string subject = rng->PickOne(pools::CourseSubjects());
+         const std::string number = RandomDigits(rng, 3);
+         TopicRow row;
+         row.source = subject + " " + number + ": Advanced Topics";
+         row.targets = {subject + " " + number, subject + number};
+         return row;
+       }},
+      {"product-codes",
+       [](Rng* rng) {
+         std::string prefix;
+         prefix.push_back(static_cast<char>('A' + rng->Uniform(26)));
+         prefix.push_back(static_cast<char>('A' + rng->Uniform(26)));
+         const std::string digits = RandomDigits(rng, 4);
+         std::string suffix;
+         suffix.push_back(static_cast<char>('A' + rng->Uniform(26)));
+         TopicRow row;
+         row.source = prefix + "-" + digits + "-" + suffix;
+         row.targets = {prefix + digits, digits + "/" + suffix};
+         return row;
+       }},
+      {"countries",
+       [](Rng* rng) {
+         // Olympic-style rows: country + year keeps entities unique.
+         const auto& c = rng->PickOne(pools::Countries());
+         const std::string year = StrPrintf(
+             "%d", static_cast<int>(rng->UniformInt(1900, 2024)));
+         TopicRow row;
+         row.source = c.name + " (" + c.code + ") " + year;
+         row.targets = {c.code + " " + year, year + " " + c.code};
+         return row;
+       }},
+      {"urls",
+       [](Rng* rng) {
+         const std::string host =
+             "www." + rng->PickOne(pools::CompanyWords()) +
+             RandomDigits(rng, 2) + ".org";
+         const std::string path = rng->PickOne(pools::FirstNames());
+         TopicRow row;
+         row.source = "https://" + host + "/" + path;
+         row.targets = {host, host + "/" + path};
+         return row;
+       }},
+      {"flights",
+       [](Rng* rng) {
+         const char* airlines[] = {"AC", "WS", "DL", "UA"};
+         const std::string airline = airlines[rng->Uniform(4)];
+         const std::string number = RandomDigits(rng, 4);
+         const char* origins[] = {"YEG", "YYZ", "YVR", "YYC"};
+         const std::string origin = origins[rng->Uniform(4)];
+         const std::string dest = origins[rng->Uniform(4)];
+         TopicRow row;
+         row.source = airline + " " + number + " " + origin + "-" + dest;
+         row.targets = {airline + number, airline + number + " " + origin +
+                                              "-" + dest};
+         return row;
+       }},
+      {"measurements",
+       [](Rng* rng) {
+         const std::string celsius = StrPrintf(
+             "%02d.%d", static_cast<int>(rng->UniformInt(10, 39)),
+             static_cast<int>(rng->UniformInt(0, 9)));
+         const std::string fahrenheit = StrPrintf(
+             "%02d.%d", static_cast<int>(rng->UniformInt(50, 99)),
+             static_cast<int>(rng->UniformInt(0, 9)));
+         TopicRow row;
+         row.source = celsius + " C (" + fahrenheit + " F)";
+         row.targets = {celsius, fahrenheit + " F"};
+         return row;
+       }},
+      {"record-ids",
+       [](Rng* rng) {
+         const std::string digits = RandomDigits(rng, 6);
+         TopicRow row;
+         row.source = "ID#" + digits;
+         row.targets = {digits, "#" + digits};
+         return row;
+       }},
+      {"books",
+       [](Rng* rng) {
+         const std::string author = Capitalize(rng->PickOne(pools::LastNames()));
+         const std::string title = "The " +
+                                   Capitalize(rng->PickOne(pools::CompanyWords())) +
+                                   " " + Capitalize(rng->PickOne(pools::Cities()));
+         TopicRow row;
+         row.source = author + ";" + title;
+         row.targets = {title + " (" + author + ")", title};
+         return row;
+       }},
+      {"stocks",
+       [](Rng* rng) {
+         std::string ticker;
+         for (int i = 0; i < 4; ++i) {
+           ticker.push_back(static_cast<char>('A' + rng->Uniform(26)));
+         }
+         const std::string company = rng->PickOne(pools::CompanyWords()) +
+                                     RandomDigits(rng, 2) + " Inc";
+         TopicRow row;
+         row.source = ticker + "-" + company;
+         row.targets = {ticker + " (" + company + ")", company};
+         return row;
+       }},
+      {"addresses",
+       [](Rng* rng) {
+         const std::string house = RandomDigits(rng, 3);
+         const std::string street = rng->PickOne(pools::StreetNames());
+         const char* quad = rng->Bernoulli(0.5) ? "NW" : "SW";
+         TopicRow row;
+         row.source =
+             house + " " + street + " ST " + quad + ", EDMONTON";
+         row.targets = {house + " " + street + " ST " + quad,
+                        street + " ST " + house};
+         row.dedup_key = house + street;
+         return row;
+       }},
+      {"middle-initials",
+       [](Rng* rng) {
+         // "Victor Robbie Kasumba" -> "Victor R. Kasumba" (the paper's
+         // §4.1.3 example): the maximal placeholder "Victor R" must be
+         // tokenized (Lemma 4 case 1) before a general rule emerges.
+         const std::string first = Capitalize(rng->PickOne(pools::FirstNames()));
+         const std::string middle =
+             Capitalize(rng->PickOne(pools::FirstNames()));
+         const std::string last = Capitalize(rng->PickOne(pools::LastNames()));
+         TopicRow row;
+         row.source = first + " " + middle + " " + last;
+         row.targets = {first + " " + middle.substr(0, 1) + ". " + last,
+                        first + " " + last};
+         row.dedup_key = last;
+         return row;
+       }},
+      {"players",
+       [](Rng* rng) {
+         const std::string first = Capitalize(rng->PickOne(pools::FirstNames()));
+         const std::string last = Capitalize(rng->PickOne(pools::LastNames()));
+         const char* positions[] = {"Forward", "Guard", "Center"};
+         const std::string pos = positions[rng->Uniform(3)];
+         TopicRow row;
+         row.source = last + "," + first + "," + pos;
+         row.targets = {first + " " + last, first + " " + last + " - " + pos};
+         row.dedup_key = last;
+         return row;
+       }},
+  };
+  return kTopics;
+}
+
+/// Corrupts a value so no transformation can produce it (simulates entity
+/// representation differences).
+std::string Corrupt(std::string value, Rng* rng) {
+  if (value.empty()) return "~";
+  const size_t at = static_cast<size_t>(rng->Uniform(value.size()));
+  // Replace with a character guaranteed different and rarely in sources.
+  const char replacement = (value[at] == '~') ? '^' : '~';
+  value[at] = replacement;
+  return value;
+}
+
+}  // namespace
+
+size_t WebTablesTopicCount() { return Topics().size(); }
+
+std::vector<TablePair> GenerateWebTables(const WebTablesOptions& options) {
+  std::vector<TablePair> pairs;
+  const auto& topics = Topics();
+  Rng rng(options.seed);
+  for (size_t p = 0; p < options.num_pairs; ++p) {
+    const Topic& topic = topics[p % topics.size()];
+    const size_t rows = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(options.min_rows),
+        static_cast<int64_t>(options.max_rows)));
+
+    TablePair pair;
+    pair.name = StrPrintf("web-%02zu-%s", p, topic.name);
+    std::vector<std::string> sources;
+    std::vector<std::string> targets;  // parallel to sources
+    std::unordered_set<std::string, StringHash, StringEq> seen_sources;
+    std::unordered_set<std::string, StringHash, StringEq> seen_targets;
+
+    // How many of the topic's rules this pair uses (1..all), so different
+    // pairs of the same topic need different covering sets.
+    size_t num_rules = 1 + rng.Uniform(2);
+
+    size_t consecutive_rejects = 0;
+    while (sources.size() < rows) {
+      TopicRow row = topic.generate(&rng);
+      // Both sides must be fresh: duplicate targets would make the golden
+      // 1-1 matching ill-defined. Topics with small entity spaces may
+      // exhaust their unique rows; accept a smaller table over spinning.
+      bool fresh = seen_sources.count(row.source) == 0;
+      for (const auto& t : row.targets) fresh &= seen_targets.count(t) == 0;
+      if (!row.dedup_key.empty()) {
+        fresh &= seen_sources.count(row.dedup_key) == 0;
+      }
+      if (!fresh) {
+        if (++consecutive_rejects > 200) break;
+        continue;
+      }
+      seen_sources.insert(row.source);
+      if (!row.dedup_key.empty()) seen_sources.insert(row.dedup_key);
+      for (const auto& t : row.targets) seen_targets.insert(t);
+      consecutive_rejects = 0;
+      num_rules = std::min(num_rules, row.targets.size());
+      const size_t rule = rng.Uniform(num_rules);
+      std::string target = row.targets[rule];
+      if (rng.Bernoulli(options.noise_fraction)) {
+        target = Corrupt(std::move(target), &rng);
+      }
+      sources.push_back(std::move(row.source));
+      targets.push_back(std::move(target));
+    }
+
+    // Unmatched extras on both sides.
+    const auto extras = static_cast<size_t>(
+        options.unmatched_fraction * static_cast<double>(rows));
+    std::vector<std::string> extra_sources;
+    std::vector<std::string> extra_targets;
+    for (size_t i = 0; i < extras; ++i) {
+      TopicRow row = topic.generate(&rng);
+      if (seen_sources.insert(row.source).second) {
+        extra_sources.push_back(row.source);
+      }
+      TopicRow row2 = topic.generate(&rng);
+      if (seen_sources.insert(row2.source).second) {
+        extra_targets.push_back(row2.targets[rng.Uniform(row2.targets.size())]);
+      }
+    }
+
+    // Assemble: shuffle target order; golden maps matched rows only.
+    std::vector<uint32_t> order(targets.size());
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(&order);
+
+    std::vector<std::string> target_column;
+    target_column.reserve(targets.size() + extra_targets.size());
+    std::vector<RowPair> golden;
+    for (uint32_t j = 0; j < order.size(); ++j) {
+      target_column.push_back(targets[order[j]]);
+      golden.push_back(RowPair{order[j], j});
+    }
+    for (auto& extra : extra_targets) target_column.push_back(std::move(extra));
+
+    std::vector<std::string> source_column = sources;
+    for (auto& extra : extra_sources) source_column.push_back(std::move(extra));
+
+    Table source_table(pair.name + "-src");
+    TJ_CHECK(source_table.AddColumn(Column("value", std::move(source_column)))
+                 .ok());
+    Table target_table(pair.name + "-tgt");
+    TJ_CHECK(target_table.AddColumn(Column("value", std::move(target_column)))
+                 .ok());
+    pair.source = std::move(source_table);
+    pair.target = std::move(target_table);
+    pair.source_join_column = 0;
+    pair.target_join_column = 0;
+    for (const RowPair& g : golden) pair.golden.Add(g);
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace tj

@@ -1,0 +1,41 @@
+// Web-tables benchmark stand-in (DESIGN.md §4): 31 joinable table pairs over
+// 17 topic archetypes patterned after the Auto-Join web benchmark (names,
+// phones, dates, places, coded ids, ...). Each pair needs one to three
+// transformations to join; a fraction of rows carries noise that no string
+// transformation can bridge (the "difficult benchmark" property), and both
+// sides contain unmatched extra rows.
+
+#ifndef TJ_DATAGEN_WEBTABLES_H_
+#define TJ_DATAGEN_WEBTABLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table_pair.h"
+
+namespace tj {
+
+struct WebTablesOptions {
+  size_t num_pairs = 31;
+  /// Rows per table drawn uniformly from this range (paper avg: 92.13).
+  size_t min_rows = 60;
+  size_t max_rows = 130;
+  /// Fraction of matched rows whose target is corrupted beyond any
+  /// transformation's reach.
+  double noise_fraction = 0.06;
+  /// Extra unmatched rows appended to each side, as a fraction of the
+  /// matched rows.
+  double unmatched_fraction = 0.08;
+  uint64_t seed = 11;
+};
+
+/// Number of distinct topic archetypes (17, like the paper's benchmark).
+size_t WebTablesTopicCount();
+
+/// Generates the benchmark. Pair i uses topic (i mod topic-count), so all
+/// topics appear and several repeat with different rule mixes/seeds.
+std::vector<TablePair> GenerateWebTables(const WebTablesOptions& options);
+
+}  // namespace tj
+
+#endif  // TJ_DATAGEN_WEBTABLES_H_

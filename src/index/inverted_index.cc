@@ -1,0 +1,50 @@
+#include "index/inverted_index.h"
+
+#include "common/strings.h"
+#include "text/ngram.h"
+
+namespace tj {
+
+NgramInvertedIndex NgramInvertedIndex::Build(const Column& column, size_t n0,
+                                             size_t nmax, bool lowercase) {
+  NgramInvertedIndex index;
+  index.num_rows_ = column.size();
+  for (uint32_t row = 0; row < column.size(); ++row) {
+    std::string lowered;
+    std::string_view text = column.Get(row);
+    if (lowercase) {
+      lowered = ToLowerAscii(text);
+      text = lowered;
+    }
+    for (size_t n = n0; n <= nmax && n <= text.size(); ++n) {
+      ForEachNgram(text, n, [&](std::string_view gram) {
+        auto it = index.postings_.find(gram);
+        if (it == index.postings_.end()) {
+          it = index.postings_.emplace(std::string(gram),
+                                       std::vector<uint32_t>()).first;
+        }
+        // Rows are scanned in ascending order, so dedup needs only a
+        // back-of-list check.
+        if (it->second.empty() || it->second.back() != row) {
+          it->second.push_back(row);
+        }
+      });
+    }
+  }
+  return index;
+}
+
+const std::vector<uint32_t>& NgramInvertedIndex::Lookup(
+    std::string_view gram) const {
+  auto it = postings_.find(gram);
+  if (it == postings_.end()) return empty_;
+  return it->second;
+}
+
+size_t NgramInvertedIndex::TotalPostings() const {
+  size_t total = 0;
+  for (const auto& [gram, rows] : postings_) total += rows.size();
+  return total;
+}
+
+}  // namespace tj

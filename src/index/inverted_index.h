@@ -1,0 +1,56 @@
+// NgramInvertedIndex: hash-organized inverted index over all character
+// n-grams of sizes [n0, nmax] in a column (paper §4.2.1). Maps each n-gram to
+// the sorted, deduplicated list of rows containing it; also serves
+// row-frequency (document-frequency) lookups for the IRF score.
+
+#ifndef TJ_INDEX_INVERTED_INDEX_H_
+#define TJ_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "table/column.h"
+
+namespace tj {
+
+/// Immutable after Build(). Lookup and Df are O(1) expected.
+class NgramInvertedIndex {
+ public:
+  NgramInvertedIndex() = default;
+
+  /// Indexes every n-gram of sizes n0..nmax (inclusive) of every row.
+  /// When `lowercase` is set, rows are ASCII-lowercased before indexing
+  /// (queries must then be lowercased by the caller too).
+  static NgramInvertedIndex Build(const Column& column, size_t n0, size_t nmax,
+                                  bool lowercase);
+
+  /// Rows containing the n-gram, ascending and deduplicated; empty list for
+  /// unseen n-grams.
+  const std::vector<uint32_t>& Lookup(std::string_view gram) const;
+
+  /// Number of distinct rows containing the n-gram (the denominator of the
+  /// paper's IRF, Eq. 1).
+  size_t Df(std::string_view gram) const { return Lookup(gram).size(); }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_grams() const { return postings_.size(); }
+
+  /// Total posting entries (index size diagnostic).
+  size_t TotalPostings() const;
+
+ private:
+  using Map = std::unordered_map<std::string, std::vector<uint32_t>,
+                                 StringHash, StringEq>;
+
+  size_t num_rows_ = 0;
+  Map postings_;
+  std::vector<uint32_t> empty_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_INDEX_INVERTED_INDEX_H_

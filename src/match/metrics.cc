@@ -1,0 +1,38 @@
+#include "match/metrics.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace tj {
+
+PrfMetrics EvaluatePairs(const std::vector<RowPair>& predicted,
+                         const PairSet& golden) {
+  PrfMetrics m;
+  m.predicted = predicted.size();
+  m.actual = golden.size();
+  std::unordered_set<RowPair, RowPairHash> seen;
+  for (const RowPair& p : predicted) {
+    if (!seen.insert(p).second) continue;  // count duplicates once
+    if (golden.Contains(p)) ++m.true_positives;
+  }
+  m.predicted = seen.size();
+  if (m.predicted > 0) {
+    m.precision = static_cast<double>(m.true_positives) /
+                  static_cast<double>(m.predicted);
+  }
+  if (m.actual > 0) {
+    m.recall = static_cast<double>(m.true_positives) /
+               static_cast<double>(m.actual);
+  }
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+std::string FormatPrf(const PrfMetrics& m) {
+  return StrPrintf("P=%.2f R=%.2f F1=%.2f", m.precision, m.recall, m.f1);
+}
+
+}  // namespace tj

@@ -1,0 +1,33 @@
+// Precision / recall / F1 over row-pair sets, shared by the row-matching
+// evaluation (Table 1) and the end-to-end join evaluation (Table 3).
+
+#ifndef TJ_MATCH_METRICS_H_
+#define TJ_MATCH_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table_pair.h"
+
+namespace tj {
+
+struct PrfMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t predicted = 0;
+  size_t actual = 0;
+};
+
+/// Compares predicted pairs against a golden set. Precision is 0 when
+/// nothing is predicted; recall is 0 when the golden set is empty.
+PrfMetrics EvaluatePairs(const std::vector<RowPair>& predicted,
+                         const PairSet& golden);
+
+/// "P=0.81 R=0.93 F1=0.86"
+std::string FormatPrf(const PrfMetrics& m);
+
+}  // namespace tj
+
+#endif  // TJ_MATCH_METRICS_H_

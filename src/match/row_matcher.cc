@@ -1,0 +1,67 @@
+#include "match/row_matcher.h"
+
+#include <string_view>
+
+#include "common/strings.h"
+#include "text/ngram.h"
+
+namespace tj {
+
+double InverseRowFrequency(const NgramInvertedIndex& index,
+                           std::string_view gram) {
+  const size_t df = index.Df(gram);
+  if (df == 0) return 0.0;
+  return 1.0 / static_cast<double>(df);
+}
+
+double Rscore(const NgramInvertedIndex& source_index,
+              const NgramInvertedIndex& target_index, std::string_view gram) {
+  return InverseRowFrequency(source_index, gram) *
+         InverseRowFrequency(target_index, gram);
+}
+
+RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
+                                 const RowMatchOptions& options) {
+  RowMatchResult result;
+  const NgramInvertedIndex source_index = NgramInvertedIndex::Build(
+      source, options.n0, options.nmax, options.lowercase);
+  const NgramInvertedIndex target_index = NgramInvertedIndex::Build(
+      target, options.n0, options.nmax, options.lowercase);
+
+  PairSet emitted;
+  for (uint32_t row = 0; row < source.size(); ++row) {
+    std::string text = options.lowercase ? ToLowerAscii(source.Get(row))
+                                         : std::string(source.Get(row));
+    bool any = false;
+    for (size_t n = options.n0; n <= options.nmax && n <= text.size(); ++n) {
+      // Representative n-gram of this size: argmax Rscore with a positive
+      // target-side IRF. First occurrence wins ties (deterministic).
+      std::string_view rep;
+      double best = 0.0;
+      ForEachNgram(text, n, [&](std::string_view gram) {
+        const double score = Rscore(source_index, target_index, gram);
+        if (score > best) {
+          best = score;
+          rep = gram;
+        }
+      });
+      if (rep.empty()) continue;
+      for (uint32_t target_row : target_index.Lookup(rep)) {
+        if (options.max_pairs != 0 &&
+            emitted.size() >= options.max_pairs) {
+          break;
+        }
+        if (emitted.Add(RowPair{row, target_row})) any = true;
+      }
+    }
+    if (!any) ++result.unmatched_source_rows;
+  }
+  result.pairs = emitted.pairs();
+  return result;
+}
+
+bool PickSourceColumn(const Column& a, const Column& b) {
+  return a.AverageLength() >= b.AverageLength();
+}
+
+}  // namespace tj

@@ -1,0 +1,60 @@
+// Candidate joinable-pair detection (paper §4.2.1, Algorithm 1): for each
+// source row and each n-gram size in [n0, nmax], the n-gram with the highest
+// Rscore (product of Inverse Row Frequencies in both columns) is the row's
+// representative; every target row containing a representative becomes a
+// candidate pair.
+
+#ifndef TJ_MATCH_ROW_MATCHER_H_
+#define TJ_MATCH_ROW_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "table/column.h"
+#include "table/table_pair.h"
+
+namespace tj {
+
+struct RowMatchOptions {
+  /// Representative n-gram sizes [n0, nmax]. The paper tunes n0 = 4 and
+  /// nmax = 20 (§6.2).
+  size_t n0 = 4;
+  size_t nmax = 20;
+  /// ASCII-lowercase rows before matching (the paper ignores
+  /// capitalization in its examples).
+  bool lowercase = true;
+  /// Safety valve on the number of emitted pairs (0 = unlimited). The open
+  /// data benchmark produces ~100x more candidate pairs than rows.
+  size_t max_pairs = 0;
+};
+
+/// IRF(t, c) = 1 / (number of rows of column c containing t); 0 when t does
+/// not appear (Eq. 1 of the paper, extended so that absent grams score 0).
+double InverseRowFrequency(const NgramInvertedIndex& index,
+                           std::string_view gram);
+
+/// Rscore(t) = IRF(t, SC) * IRF(t, TC) (Eq. 2).
+double Rscore(const NgramInvertedIndex& source_index,
+              const NgramInvertedIndex& target_index, std::string_view gram);
+
+struct RowMatchResult {
+  /// Candidate pairs in discovery order, deduplicated.
+  std::vector<RowPair> pairs;
+  /// Number of source rows that produced no candidate at all.
+  size_t unmatched_source_rows = 0;
+};
+
+/// Algorithm 1. Both columns are indexed over [n0, nmax]; `source` should be
+/// the more descriptive column (see PickSourceColumn).
+RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
+                                 const RowMatchOptions& options);
+
+/// The paper designates the column with the longer average value as the
+/// source. Returns true when `a` should be the source of (a, b).
+bool PickSourceColumn(const Column& a, const Column& b);
+
+}  // namespace tj
+
+#endif  // TJ_MATCH_ROW_MATCHER_H_

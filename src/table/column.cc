@@ -1,0 +1,12 @@
+#include "table/column.h"
+
+namespace tj {
+
+double Column::AverageLength() const {
+  if (values_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& v : values_) total += v.size();
+  return static_cast<double>(total) / static_cast<double>(values_.size());
+}
+
+}  // namespace tj

@@ -1,0 +1,53 @@
+// Column: a named vector of string cells. The paper's algorithms operate on
+// textual join columns, so the storage model keeps every cell as a string.
+
+#ifndef TJ_TABLE_COLUMN_H_
+#define TJ_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tj {
+
+/// A named, string-typed column.
+class Column {
+ public:
+  Column() = default;
+  explicit Column(std::string name) : name_(std::move(name)) {}
+  Column(std::string name, std::vector<std::string> values)
+      : name_(std::move(name)), values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Bounds-checked cell access.
+  std::string_view Get(size_t row) const {
+    TJ_CHECK(row < values_.size());
+    return values_[row];
+  }
+
+  const std::vector<std::string>& values() const { return values_; }
+
+  void Append(std::string value) { values_.push_back(std::move(value)); }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  /// Mean cell length in characters; 0 for an empty column. The row matcher
+  /// uses this to pick the more descriptive column as the source (§4.2.1).
+  double AverageLength() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_TABLE_COLUMN_H_

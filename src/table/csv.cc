@@ -1,0 +1,161 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace tj {
+namespace {
+
+/// Parses one record starting at *pos; advances *pos past the record's
+/// trailing newline. Returns false at end of input.
+bool ParseRecord(std::string_view text, size_t* pos, char delim,
+                 std::vector<std::string>* fields, Status* status) {
+  fields->clear();
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+    } else if (c == delim) {
+      fields->push_back(std::move(field));
+      field.clear();
+      field_was_quoted = false;
+    } else if (c == '\n' || c == '\r') {
+      break;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    *status = Status::InvalidArgument("unterminated quoted CSV field");
+    return false;
+  }
+  fields->push_back(std::move(field));
+  // Swallow one line terminator (\n, \r, or \r\n).
+  if (i < text.size() && text[i] == '\r') ++i;
+  if (i < text.size() && text[i] == '\n') ++i;
+  *pos = i;
+  return true;
+}
+
+bool NeedsQuoting(std::string_view field, char delim) {
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, std::string_view field, char delim) {
+  if (!NeedsQuoting(field, delim)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(std::string_view text, const CsvOptions& options) {
+  Table table;
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  Status status;
+
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> column_data;
+
+  bool first = true;
+  while (ParseRecord(text, &pos, options.delimiter, &fields, &status)) {
+    if (first) {
+      first = false;
+      const size_t width = fields.size();
+      if (options.has_header) {
+        names = fields;
+        column_data.resize(width);
+        continue;
+      }
+      for (size_t i = 0; i < width; ++i) names.push_back(StrPrintf("col%zu", i));
+      column_data.resize(width);
+    }
+    if (fields.size() != names.size()) {
+      return Status::InvalidArgument(StrPrintf(
+          "CSV record has %zu fields, expected %zu", fields.size(),
+          names.size()));
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      column_data[i].push_back(std::move(fields[i]));
+    }
+  }
+  if (!status.ok()) return status;
+  if (names.empty()) return Status::InvalidArgument("empty CSV input");
+  for (size_t i = 0; i < names.size(); ++i) {
+    TJ_RETURN_IF_ERROR(
+        table.AddColumn(Column(names[i], std::move(column_data[i]))));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const size_t cols = table.num_columns();
+  if (options.has_header) {
+    for (size_t i = 0; i < cols; ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      AppendField(&out, table.column(i).name(), options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < cols; ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      AppendField(&out, table.column(i).Get(r), options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsvString(table, options);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace tj

@@ -1,0 +1,41 @@
+// RFC-4180-subset CSV reader/writer for loading and persisting benchmark
+// tables. Supports quoted fields with embedded separators, quotes, and
+// newlines; the first record is the header.
+
+#ifndef TJ_TABLE_CSV_H_
+#define TJ_TABLE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace tj {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Whether the first record names the columns; when false, columns are
+  /// named col0, col1, ...
+  bool has_header = true;
+};
+
+/// Parses CSV text into a Table. All rows must have the same field count.
+Result<Table> ReadCsvString(std::string_view text,
+                            const CsvOptions& options = CsvOptions());
+
+/// Loads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = CsvOptions());
+
+/// Serializes a table as CSV (header row included when options.has_header).
+std::string WriteCsvString(const Table& table,
+                           const CsvOptions& options = CsvOptions());
+
+/// Writes a table to a CSV file on disk.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = CsvOptions());
+
+}  // namespace tj
+
+#endif  // TJ_TABLE_CSV_H_

@@ -1,0 +1,34 @@
+#include "table/table.h"
+
+#include "common/strings.h"
+
+namespace tj {
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(StrPrintf(
+        "column '%s' has %zu rows; table '%s' has %zu", column.name().c_str(),
+        column.size(), name_.c_str(), num_rows()));
+  }
+  if (FindColumn(column.name()) != nullptr) {
+    return Status::AlreadyExists("duplicate column name: " + column.name());
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<size_t> Table::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+const Column* Table::FindColumn(std::string_view name) const {
+  for (const auto& c : columns_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace tj

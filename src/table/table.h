@@ -1,0 +1,58 @@
+// Table: a named collection of equal-length columns.
+
+#ifndef TJ_TABLE_TABLE_H_
+#define TJ_TABLE_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "table/column.h"
+
+namespace tj {
+
+/// A rectangular table of string cells. Columns are stored by value; all
+/// columns must have the same number of rows (enforced by AddColumn).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  /// Adds a column; fails if its length disagrees with existing columns or a
+  /// column with the same name already exists.
+  Status AddColumn(Column column);
+
+  /// Column access by position (bounds-checked).
+  const Column& column(size_t i) const {
+    TJ_CHECK(i < columns_.size());
+    return columns_[i];
+  }
+  Column& mutable_column(size_t i) {
+    TJ_CHECK(i < columns_.size());
+    return columns_[i];
+  }
+
+  /// Column lookup by name.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+  const Column* FindColumn(std::string_view name) const;
+
+  const std::vector<Column>& columns() const { return columns_; }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_TABLE_TABLE_H_

@@ -1,0 +1,79 @@
+// TablePair: a joinable source/target table pair with its golden row
+// matching — the unit of evaluation in the paper's benchmarks.
+
+#ifndef TJ_TABLE_TABLE_PAIR_H_
+#define TJ_TABLE_TABLE_PAIR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "table/table.h"
+
+namespace tj {
+
+/// A (source row, target row) index pair.
+struct RowPair {
+  uint32_t source = 0;
+  uint32_t target = 0;
+
+  bool operator==(const RowPair& other) const {
+    return source == other.source && target == other.target;
+  }
+};
+
+struct RowPairHash {
+  size_t operator()(const RowPair& p) const {
+    return static_cast<size_t>(
+        HashCombine(Mix64(p.source), static_cast<uint64_t>(p.target)));
+  }
+};
+
+/// A deduplicated set of row pairs with O(1) membership, used for golden
+/// matchings and candidate-pair sets.
+class PairSet {
+ public:
+  PairSet() = default;
+
+  /// Returns true if the pair was newly inserted.
+  bool Add(RowPair pair) {
+    if (!set_.insert(pair).second) return false;
+    pairs_.push_back(pair);
+    return true;
+  }
+
+  bool Contains(RowPair pair) const { return set_.count(pair) > 0; }
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  /// Insertion-ordered pair list.
+  const std::vector<RowPair>& pairs() const { return pairs_; }
+
+ private:
+  std::vector<RowPair> pairs_;
+  std::unordered_set<RowPair, RowPairHash> set_;
+};
+
+/// A benchmark instance: two tables, the columns to join, and the golden
+/// matching between their rows.
+struct TablePair {
+  std::string name;
+  Table source;
+  Table target;
+  size_t source_join_column = 0;
+  size_t target_join_column = 0;
+  PairSet golden;
+
+  const Column& SourceColumn() const {
+    return source.column(source_join_column);
+  }
+  const Column& TargetColumn() const {
+    return target.column(target_join_column);
+  }
+};
+
+}  // namespace tj
+
+#endif  // TJ_TABLE_TABLE_PAIR_H_

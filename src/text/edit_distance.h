@@ -1,0 +1,21 @@
+// Levenshtein distance and normalized edit similarity, used by the
+// Auto-FuzzyJoin baseline's similarity-function family.
+
+#ifndef TJ_TEXT_EDIT_DISTANCE_H_
+#define TJ_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace tj {
+
+/// Unit-cost Levenshtein distance between a and b. O(|a|*|b|) time,
+/// O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// 1 - dist/max(|a|,|b|), in [0,1]; 1.0 for two empty strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace tj
+
+#endif  // TJ_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,51 @@
+#include "text/lcp.h"
+
+#include <algorithm>
+
+namespace tj {
+
+LcpTable LcpTable::Build(std::string_view source, std::string_view target) {
+  LcpTable t;
+  t.slen_ = std::min(source.size(), kMaxLength);
+  t.tlen_ = std::min(target.size(), kMaxLength);
+  if (t.slen_ == 0 || t.tlen_ == 0) {
+    t.longest_at_.assign(t.tlen_, 0);
+    return t;
+  }
+  t.cells_.assign(t.slen_ * t.tlen_, 0);
+  // Dynamic program from the bottom-right corner:
+  //   lcp(i, j) = source[i] == target[j] ? 1 + lcp(i+1, j+1) : 0.
+  for (size_t i = t.slen_; i-- > 0;) {
+    const char sc = source[i];
+    uint16_t* row = &t.cells_[i * t.tlen_];
+    const uint16_t* next_row =
+        (i + 1 < t.slen_) ? &t.cells_[(i + 1) * t.tlen_] : nullptr;
+    for (size_t j = t.tlen_; j-- > 0;) {
+      if (sc != target[j]) continue;
+      uint16_t ext = 0;
+      if (next_row != nullptr && j + 1 < t.tlen_) ext = next_row[j + 1];
+      // Saturate rather than overflow (lengths are bounded by kMaxLength
+      // which fits uint16_t, so this is defensive only).
+      row[j] = static_cast<uint16_t>(std::min<uint32_t>(ext + 1u, 0xffffu));
+    }
+  }
+  t.longest_at_.assign(t.tlen_, 0);
+  for (size_t j = 0; j < t.tlen_; ++j) {
+    uint16_t best = 0;
+    for (size_t i = 0; i < t.slen_; ++i) {
+      best = std::max(best, t.cells_[i * t.tlen_ + j]);
+    }
+    t.longest_at_[j] = best;
+  }
+  return t;
+}
+
+void LcpTable::MatchPositions(size_t j, size_t len,
+                              std::vector<uint32_t>* out) const {
+  if (len == 0 || j >= tlen_) return;
+  for (size_t i = 0; i < slen_; ++i) {
+    if (cells_[i * tlen_ + j] >= len) out->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+}  // namespace tj

@@ -1,0 +1,66 @@
+// LcpTable: all-pairs longest-common-extension between a source and a target
+// string.
+//
+// This is the workhorse of placeholder detection (paper §4.1.3). For a
+// source/target row pair it answers, in O(1) after O(|s|*|t|) construction:
+//   * the longest substring of the target starting at position j that occurs
+//     anywhere in the source (maximal-length placeholder detection), and
+//   * every source position where a given target block matches (the
+//     occurrence anchors unit extraction needs).
+
+#ifndef TJ_TEXT_LCP_H_
+#define TJ_TEXT_LCP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tj {
+
+/// Dense table of longest common prefixes between every source suffix and
+/// every target suffix. Strings longer than kMaxLength are truncated for the
+/// table (row values in every benchmark are far below this bound).
+class LcpTable {
+ public:
+  /// Maximum string length the table supports (memory guard: the table is
+  /// O(|s|*|t|) uint16 cells).
+  static constexpr size_t kMaxLength = 4096;
+
+  LcpTable() = default;
+
+  /// Builds the table for (source, target). The views must stay valid only
+  /// for the duration of the call.
+  static LcpTable Build(std::string_view source, std::string_view target);
+
+  size_t source_length() const { return slen_; }
+  size_t target_length() const { return tlen_; }
+
+  /// Longest common prefix of source[i..] and target[j..]. Out-of-range
+  /// indices yield 0.
+  uint16_t Lcp(size_t i, size_t j) const {
+    if (i >= slen_ || j >= tlen_) return 0;
+    return cells_[i * tlen_ + j];
+  }
+
+  /// Length of the longest substring of the target starting at j that occurs
+  /// somewhere in the source (0 when target[j] does not occur at all).
+  uint16_t LongestMatchAt(size_t j) const {
+    if (j >= tlen_) return 0;
+    return longest_at_[j];
+  }
+
+  /// Appends to *out every source position i where source[i, i+len) equals
+  /// target[j, j+len). Requires len >= 1.
+  void MatchPositions(size_t j, size_t len, std::vector<uint32_t>* out) const;
+
+ private:
+  size_t slen_ = 0;
+  size_t tlen_ = 0;
+  std::vector<uint16_t> cells_;       // slen_ x tlen_, row-major by source.
+  std::vector<uint16_t> longest_at_;  // per target position.
+};
+
+}  // namespace tj
+
+#endif  // TJ_TEXT_LCP_H_

@@ -1,0 +1,21 @@
+#include "text/ngram.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace tj {
+
+std::vector<std::string_view> DistinctNgrams(std::string_view s, size_t n) {
+  std::vector<std::string_view> out;
+  if (n == 0 || n > s.size()) return out;
+  std::unordered_set<std::string_view, StringHash, StringEq> seen;
+  seen.reserve(s.size() - n + 1);
+  ForEachNgram(s, n, [&](std::string_view gram) {
+    if (seen.insert(gram).second) out.push_back(gram);
+  });
+  return out;
+}
+
+}  // namespace tj

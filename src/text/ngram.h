@@ -1,0 +1,29 @@
+// Character n-gram extraction for the row-matching inverted index (paper
+// §4.2.1): every n-gram of sizes n0..nmax of a row is an index key, and the
+// representative n-gram of a row is the one maximizing the Rscore.
+
+#ifndef TJ_TEXT_NGRAM_H_
+#define TJ_TEXT_NGRAM_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace tj {
+
+/// Invokes f(std::string_view gram) for every (possibly repeated) n-gram of
+/// length n in s, left to right. No-op when n == 0 or n > s.size().
+template <typename F>
+void ForEachNgram(std::string_view s, size_t n, F f) {
+  if (n == 0 || n > s.size()) return;
+  for (size_t i = 0; i + n <= s.size(); ++i) {
+    f(s.substr(i, n));
+  }
+}
+
+/// All distinct n-grams of length n in s, in first-occurrence order.
+std::vector<std::string_view> DistinctNgrams(std::string_view s, size_t n);
+
+}  // namespace tj
+
+#endif  // TJ_TEXT_NGRAM_H_

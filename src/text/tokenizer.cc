@@ -1,0 +1,79 @@
+#include "text/tokenizer.h"
+
+#include "text/char_class.h"
+
+namespace tj {
+
+std::vector<std::string_view> SplitByChar(std::string_view input, char delim) {
+  std::vector<std::string_view> pieces;
+  size_t begin = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == delim) {
+      pieces.push_back(input.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::optional<std::string_view> NthSplitPiece(std::string_view input,
+                                              char delim, int32_t index) {
+  if (index < 0) return std::nullopt;
+  int32_t current = 0;
+  size_t begin = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == delim) {
+      if (current == index) return input.substr(begin, i - begin);
+      ++current;
+      begin = i + 1;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t CountSplitPieces(std::string_view input, char delim) {
+  size_t count = 1;
+  for (char c : input) {
+    if (c == delim) ++count;
+  }
+  return count;
+}
+
+std::vector<BoundedToken> TokenizeOnTwoChars(std::string_view input, char c1,
+                                             char c2) {
+  std::vector<BoundedToken> tokens;
+  char prev = 0;
+  size_t begin = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    const bool is_delim = i < input.size() && (input[i] == c1 || input[i] == c2);
+    if (i == input.size() || is_delim) {
+      BoundedToken tok;
+      tok.text = input.substr(begin, i - begin);
+      tok.prev = prev;
+      tok.next = (i < input.size()) ? input[i] : 0;
+      tokens.push_back(tok);
+      if (i < input.size()) prev = input[i];
+      begin = i + 1;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> WordTokens(std::string_view input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : input) {
+    if (IsAlnumChar(c)) {
+      char lc = c;
+      if (lc >= 'A' && lc <= 'Z') lc = static_cast<char>(lc - 'A' + 'a');
+      current.push_back(lc);
+    } else if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+}  // namespace tj

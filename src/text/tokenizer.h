@@ -1,0 +1,54 @@
+// Split/tokenize primitives backing the transformation units and the fuzzy
+// join baseline.
+//
+// All functions operate on string_views and never allocate unless they return
+// owning containers; split semantics (0-based piece indices, empty pieces
+// kept) are fixed here and documented in DESIGN.md §2.
+
+#ifndef TJ_TEXT_TOKENIZER_H_
+#define TJ_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tj {
+
+/// Splits `input` at every occurrence of `delim`, keeping empty pieces.
+/// "a,,b" split on ',' yields {"a", "", "b"}; a delimiter absent from the
+/// input yields {input}.
+std::vector<std::string_view> SplitByChar(std::string_view input, char delim);
+
+/// Returns the `index`-th (0-based) piece of SplitByChar without
+/// materializing the piece list, or nullopt when index is out of range.
+std::optional<std::string_view> NthSplitPiece(std::string_view input,
+                                              char delim, int32_t index);
+
+/// Number of pieces SplitByChar would produce (= #occurrences of delim + 1).
+size_t CountSplitPieces(std::string_view input, char delim);
+
+/// A maximal run of characters containing neither delimiter of a two-char
+/// delimiter set, annotated with the delimiters that bound it. `prev`/`next`
+/// are 0 at the string boundaries.
+struct BoundedToken {
+  std::string_view text;
+  char prev = 0;
+  char next = 0;
+};
+
+/// Tokenizes `input` on the delimiter set {c1, c2} and reports, for each
+/// maximal delimiter-free run, the delimiter immediately before and after it.
+/// Runs of adjacent delimiters produce empty tokens between them, mirroring
+/// SplitByChar's keep-empty behaviour.
+std::vector<BoundedToken> TokenizeOnTwoChars(std::string_view input, char c1,
+                                             char c2);
+
+/// Lowercased alphanumeric word tokens (maximal [A-Za-z0-9]+ runs), used by
+/// the fuzzy-join baseline and row-matching diagnostics.
+std::vector<std::string> WordTokens(std::string_view input);
+
+}  // namespace tj
+
+#endif  // TJ_TEXT_TOKENIZER_H_

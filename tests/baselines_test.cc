@@ -1,0 +1,163 @@
+// Tests for the three baselines: naive enumeration (§3.1), Auto-Join
+// (§3.2), and the Auto-FuzzyJoin simulation.
+
+#include <gtest/gtest.h>
+
+#include "baselines/autojoin.h"
+#include "baselines/fuzzyjoin.h"
+#include "baselines/naive.h"
+#include "core/discovery.h"
+#include "match/metrics.h"
+
+namespace tj {
+namespace {
+
+// ---- Naive ----
+
+TEST(Naive, FindsCoveringTransformationOnTinyInput) {
+  const std::vector<ExamplePair> rows = {
+      {"ab,cd", "cd"}, {"xy,zw", "zw"}, {"qq,rr", "rr"}};
+  NaiveOptions options;
+  options.max_units = 2;
+  const NaiveResult result = NaiveEnumerate(rows, options);
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.top[0].coverage, 3u);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(Naive, AgreesWithOurApproachOnMaxCoverage) {
+  // Oracle test: on tiny inputs the efficient algorithm must reach the same
+  // maximum coverage as exhaustive enumeration.
+  const std::vector<std::vector<ExamplePair>> cases = {
+      {{"ab,cd", "cd"}, {"xy,zw", "zw"}},
+      {{"a-b", "b/a"}, {"c-d", "d/c"}},
+      {{"one two", "two"}, {"uno dos", "dos"}, {"en to", "to"}},
+  };
+  for (const auto& rows : cases) {
+    NaiveOptions naive_options;
+    naive_options.max_units = 3;
+    const NaiveResult naive = NaiveEnumerate(rows, naive_options);
+    const DiscoveryResult ours =
+        DiscoverTransformations(rows, DiscoveryOptions());
+    ASSERT_FALSE(naive.top.empty());
+    ASSERT_FALSE(ours.top.empty());
+    EXPECT_EQ(ours.top[0].coverage, naive.top[0].coverage)
+        << "rows[0]=" << rows[0].source << " -> " << rows[0].target;
+  }
+}
+
+TEST(Naive, TruncatesAtTransformationCap) {
+  NaiveOptions options;
+  options.max_transformations = 50;
+  const NaiveResult result =
+      NaiveEnumerate({{"abcabcabc", "abcabc"}}, options);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_LE(result.store.size(), 51u);
+}
+
+// ---- Auto-Join ----
+
+TEST(AutoJoin, FindsTransformationOnCleanInput) {
+  const std::vector<ExamplePair> rows = {
+      {"prus-czarnecki, andrzej", "a prus-czarnecki"},
+      {"bowling, michael", "m bowling"},
+      {"gosgnach, simon", "s gosgnach"},
+      {"rafiei, davood", "d rafiei"},
+  };
+  AutoJoinOptions options;
+  options.time_budget_seconds = 20.0;
+  const AutoJoinResult result = RunAutoJoin(rows, options);
+  ASSERT_FALSE(result.found.empty());
+  EXPECT_DOUBLE_EQ(result.union_coverage, 1.0);
+  // The found transformation really maps the rows.
+  const Transformation& t = result.store.Get(result.ranked[0].id);
+  EXPECT_EQ(t.Apply("rafiei, davood", result.units),
+            std::optional<std::string>("d rafiei"));
+}
+
+TEST(AutoJoin, SingleRuleSubsetAssumptionBreaksOnMixedInput) {
+  // Half the rows follow rule A, half rule B. With subsets as large as the
+  // input, every subset mixes the rules and no single transformation covers
+  // it — Auto-Join finds nothing (the motivation for our approach, §3.2).
+  // Varying-length names with pairwise-disjoint letters defeat positional
+  // and shared-literal tricks; rule A needs Split(',',0), rule B needs
+  // Split(',',1), and no unit sequence yields both on every row.
+  const std::vector<ExamplePair> rows = {
+      {"alpha,x", "alpha"}, {"y,bceg", "bceg"},   {"uvw,x", "uvw"},
+      {"y,dfhi", "dfhi"},   {"qjkz,x", "qjkz"},   {"y,mnrs", "mnrs"},
+  };
+  AutoJoinOptions options;
+  options.num_subsets = 2;
+  options.subset_size = rows.size();  // forcibly mixed
+  options.time_budget_seconds = 10.0;
+  const AutoJoinResult result = RunAutoJoin(rows, options);
+  EXPECT_TRUE(result.found.empty());
+  EXPECT_DOUBLE_EQ(result.union_coverage, 0.0);
+}
+
+TEST(AutoJoin, RespectsTimeBudget) {
+  // Long noisy rows make the exhaustive enumeration explode; the run must
+  // come back near the budget.
+  std::vector<ExamplePair> rows;
+  for (int i = 0; i < 8; ++i) {
+    std::string src;
+    std::string tgt;
+    for (int j = 0; j < 60; ++j) {
+      src.push_back(static_cast<char>('a' + ((i * 31 + j * 7) % 26)));
+      tgt.push_back(static_cast<char>('a' + ((i * 17 + j * 11) % 26)));
+    }
+    rows.push_back({src, tgt});
+  }
+  AutoJoinOptions options;
+  options.time_budget_seconds = 0.3;
+  options.num_subsets = 50;
+  const AutoJoinResult result = RunAutoJoin(rows, options);
+  EXPECT_LT(result.seconds, 5.0);
+}
+
+TEST(AutoJoin, EmptyInputIsSafe) {
+  const AutoJoinResult result = RunAutoJoin({}, AutoJoinOptions());
+  EXPECT_TRUE(result.found.empty());
+  EXPECT_DOUBLE_EQ(result.union_coverage, 0.0);
+}
+
+// ---- Auto-FuzzyJoin ----
+
+TEST(FuzzyJoin, JoinsNearIdenticalColumns) {
+  Column source("s", {"united airlines", "delta airways", "air canada",
+                      "west jet", "lufthansa group"});
+  Column target("t", {"United Airlines", "Delta Airways", "Air Canada",
+                      "West Jet", "Lufthansa Group"});
+  const FuzzyJoinResult result =
+      RunAutoFuzzyJoin(source, target, FuzzyJoinOptions());
+  PairSet golden;
+  for (uint32_t i = 0; i < 5; ++i) golden.Add({i, i});
+  const PrfMetrics m = EvaluatePairs(result.joined, golden);
+  EXPECT_GE(m.recall, 0.99);
+  EXPECT_GE(m.precision, 0.99);
+}
+
+TEST(FuzzyJoin, CannotBridgeStructuralTransformations) {
+  // Email-style targets share almost no tokens with the names: similarity
+  // joins miss what transformation joins recover (Table 3's story).
+  Column source("s", {"bowling, michael", "gosgnach, simon"});
+  Column target("t", {"mb1@uni.ca", "sg2@uni.ca"});
+  const FuzzyJoinResult result =
+      RunAutoFuzzyJoin(source, target, FuzzyJoinOptions());
+  PairSet golden;
+  golden.Add({0, 0});
+  golden.Add({1, 1});
+  const PrfMetrics m = EvaluatePairs(result.joined, golden);
+  EXPECT_LE(m.recall, 0.5);
+}
+
+TEST(FuzzyJoin, EmptyColumnsAreSafe) {
+  Column source("s");
+  Column target("t");
+  const FuzzyJoinResult result =
+      RunAutoFuzzyJoin(source, target, FuzzyJoinOptions());
+  EXPECT_TRUE(result.joined.empty());
+}
+
+}  // namespace
+}  // namespace tj

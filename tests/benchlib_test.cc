@@ -1,0 +1,114 @@
+// Tests for the bench harness: report printers and a small-scale end-to-end
+// pass over the dataset suite (the same code paths the table/figure benches
+// run, at integration-test size).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "benchlib/report.h"
+#include "benchlib/suite.h"
+
+namespace tj {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "23456"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name         value"), std::string::npos);
+  EXPECT_NE(out.find("longer-name  23456"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(SeriesPrinter, EmitsAllPoints) {
+  SeriesPrinter series("x", {"a", "b"});
+  series.AddPoint(1, {0.5, 1.5});
+  series.AddPoint(2, {2.5, 3.5});
+  const std::string out = series.Render();
+  EXPECT_NE(out.find("0.5000"), std::string::npos);
+  EXPECT_NE(out.find("3.5000"), std::string::npos);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatSeconds(0.000005), "5us");
+  EXPECT_EQ(FormatSeconds(0.005), "5.0ms");
+  EXPECT_EQ(FormatSeconds(2.5), "2.50s");
+}
+
+TEST(Suite, EnvScaleIsParsed) {
+  ::setenv("TJ_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(SuiteOptionsFromEnv().scale, 0.5);
+  ::setenv("TJ_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(SuiteOptionsFromEnv().scale, 1.0);
+  ::unsetenv("TJ_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(SuiteOptionsFromEnv().scale, 1.0);
+}
+
+TEST(Suite, BuildsAllSevenDatasets) {
+  SuiteOptions options;
+  options.scale = 0.05;  // tiny integration-test scale
+  const auto suite = BuildSuite(options);
+  ASSERT_EQ(suite.size(), 7u);
+  EXPECT_EQ(suite[0].name, "Web tables");
+  EXPECT_EQ(suite[1].name, "Spreadsheet");
+  EXPECT_EQ(suite[2].name, "Open data");
+  EXPECT_EQ(suite[3].name, "Synth-50");
+  EXPECT_EQ(suite[6].name, "Synth-500L");
+  for (const auto& d : suite) {
+    EXPECT_FALSE(d.tables.empty()) << d.name;
+  }
+  // Per-dataset configuration from the paper's §6.2/§6.4.
+  EXPECT_EQ(suite[1].discovery.max_placeholders, 4);
+  EXPECT_GT(suite[2].discovery.min_support_fraction, 0.0);
+  EXPECT_GT(suite[2].sample_pairs, 0u);
+}
+
+TEST(Suite, EndToEndSmallScalePass) {
+  // Exercises the exact runner code paths of the Table 1/2/4 benches on a
+  // shrunken suite.
+  SuiteOptions options;
+  options.scale = 0.04;
+  options.include_webtables = false;   // keep this test fast
+  options.include_spreadsheet = false;
+  const auto suite = BuildSuite(options);
+  for (const auto& dataset : suite) {
+    const TablePair& pair = dataset.tables.front();
+    const RowMatchEval match = EvaluateRowMatching(pair);
+    EXPECT_GT(match.pairs, 0u) << dataset.name;
+    const DiscoveryEval golden =
+        EvaluateDiscovery(pair, dataset, MatchingMode::kGolden);
+    EXPECT_GT(golden.learning_pairs, 0u) << dataset.name;
+    EXPECT_GT(golden.cover_coverage, 0.0) << dataset.name;
+    EXPECT_GE(golden.top_coverage, 0.0) << dataset.name;
+    EXPECT_LE(golden.top_coverage, 1.0) << dataset.name;
+  }
+}
+
+TEST(Suite, GoldenDiscoveryCoversSynthFully) {
+  SuiteOptions options;
+  options.scale = 0.2;
+  options.include_webtables = false;
+  options.include_spreadsheet = false;
+  options.include_opendata = false;
+  for (const auto& dataset : BuildSuite(options)) {
+    for (const auto& pair : dataset.tables) {
+      const DiscoveryEval eval =
+          EvaluateDiscovery(pair, dataset, MatchingMode::kGolden);
+      EXPECT_DOUBLE_EQ(eval.cover_coverage, 1.0)
+          << dataset.name << "/" << pair.name;
+    }
+  }
+}
+
+TEST(Mean, Helper) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,165 @@
+// Tests for DynamicBitset and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+
+namespace tj {
+namespace {
+
+TEST(Bitset, StartsCleared) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(Bitset, SetTestReset) {
+  DynamicBitset b(100);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(Bitset, SetAllRespectsSize) {
+  DynamicBitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  b.ResetAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(Bitset, SetAlgebra) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+
+  DynamicBitset or_ab = a;
+  or_ab.OrWith(b);
+  EXPECT_EQ(or_ab.Count(), 3u);
+
+  DynamicBitset and_ab = a;
+  and_ab.AndWith(b);
+  EXPECT_EQ(and_ab.Count(), 1u);
+  EXPECT_TRUE(and_ab.Test(2));
+
+  DynamicBitset diff = a;
+  diff.AndNotWith(b);
+  EXPECT_EQ(diff.Count(), 1u);
+  EXPECT_TRUE(diff.Test(1));
+
+  EXPECT_EQ(a.CountAndNot(b), 1u);
+  EXPECT_EQ(b.CountAndNot(a), 1u);
+}
+
+TEST(Bitset, ForEachSetVisitsAscending) {
+  DynamicBitset b(200);
+  const std::vector<size_t> expected = {3, 64, 65, 190};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> seen;
+  b.ForEachSet([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Bitset, ResizeGrowsCleared) {
+  DynamicBitset b(10);
+  b.Set(9);
+  b.Resize(100);
+  EXPECT_TRUE(b.Test(9));
+  EXPECT_FALSE(b.Test(50));
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(Bitset, EqualityComparesContent) {
+  DynamicBitset a(64);
+  DynamicBitset b(64);
+  EXPECT_TRUE(a == b);
+  a.Set(5);
+  EXPECT_FALSE(a == b);
+  b.Set(5);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.NextU64() != b.NextU64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, RandomStringUsesAlphabet) {
+  Rng rng(9);
+  const std::string s = rng.RandomString(200, "ab");
+  EXPECT_EQ(s.size(), 200u);
+  for (char c : s) EXPECT_TRUE(c == 'a' || c == 'b');
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace tj

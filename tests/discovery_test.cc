@@ -1,0 +1,163 @@
+// End-to-end tests of the discovery pipeline on the paper's own examples.
+
+#include "core/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tj {
+namespace {
+
+/// The paper's §3.2 example: rows 4-6 of Figure 1's name columns
+/// (capitalization ignored, as in the paper's walkthrough).
+std::vector<ExamplePair> PaperNameRows() {
+  return {
+      {"prus-czarnecki, andrzej", "a prus-czarnecki"},
+      {"bowling, michael", "m bowling"},
+      {"gosgnach, simon", "s gosgnach"},
+  };
+}
+
+TEST(Discovery, FindsSingleTransformationCoveringPaperNameRows) {
+  const auto rows = PaperNameRows();
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, DiscoveryOptions());
+  ASSERT_FALSE(result.top.empty());
+  // One transformation covers all three rows (the paper's
+  // <SplitSubstr(' ',2,0,1), Literal(' '), Split(',',1)> in its 1-based
+  // notation).
+  EXPECT_EQ(result.top[0].coverage, 3u);
+  EXPECT_DOUBLE_EQ(result.TopCoverageFraction(), 1.0);
+  // And the cover therefore needs exactly one transformation.
+  EXPECT_EQ(result.cover.selected.size(), 1u);
+  EXPECT_EQ(result.cover.covered_rows, 3u);
+}
+
+TEST(Discovery, TopTransformationActuallyMapsAllRows) {
+  const auto rows = PaperNameRows();
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, DiscoveryOptions());
+  ASSERT_FALSE(result.top.empty());
+  const Transformation& t = result.store.Get(result.top[0].id);
+  for (const auto& row : rows) {
+    const auto out = t.Apply(row.source, result.units);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, row.target);
+  }
+}
+
+TEST(Discovery, VictorExampleSkeletonYieldsCoveringTransformation) {
+  // §4.1.3's skeleton example.
+  const std::vector<ExamplePair> rows = {
+      {"Victor Robbie Kasumba", "Victor R. Kasumba"},
+  };
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, DiscoveryOptions());
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.top[0].coverage, 1u);
+}
+
+TEST(Discovery, EmailExampleFromFigure2) {
+  // "bowling, michael" -> "michael.bowling@ualberta.ca" (Figure 2).
+  const std::vector<ExamplePair> rows = {
+      {"bowling, michael", "michael.bowling@ualberta.ca"},
+      {"gosgnach, simon", "simon.gosgnach@ualberta.ca"},
+      {"rafiei, davood", "davood.rafiei@ualberta.ca"},
+  };
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, DiscoveryOptions());
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.top[0].coverage, 3u);
+  const Transformation& t = result.store.Get(result.top[0].id);
+  EXPECT_EQ(t.Apply("nobari, arash", result.units),
+            std::optional<std::string>("arash.nobari@ualberta.ca"));
+}
+
+TEST(Discovery, MultiRuleInputNeedsCoveringSet) {
+  // Two incompatible rules; no single transformation covers both groups.
+  const std::vector<ExamplePair> rows = {
+      {"smith, james", "james smith"},   {"jones, mary", "mary jones"},
+      {"brown, robert", "robert brown"}, {"adams#linda", "linda"},
+      {"baker#susan", "susan"},          {"clark#karen", "karen"},
+  };
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, DiscoveryOptions());
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.top[0].coverage, 3u);
+  EXPECT_DOUBLE_EQ(result.CoverSetCoverageFraction(), 1.0);
+  EXPECT_EQ(result.cover.selected.size(), 2u);
+}
+
+TEST(Discovery, NoiseRowsRemainUncovered) {
+  std::vector<ExamplePair> rows = {
+      {"alpha,one", "one"},
+      {"beta,two", "two"},
+      {"gamma,three", "three"},
+      {"delta,four", "FIVE~SIX"},  // noise: target unrelated to source
+  };
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, DiscoveryOptions());
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.top[0].coverage, 3u);
+  // The noise row can only be covered by its own literal transformation.
+  EXPECT_LE(result.CoverSetCoverageFraction(), 1.0);
+  EXPECT_GE(result.cover.covered_rows, 3u);
+}
+
+TEST(Discovery, MinSupportFiltersRareTransformations) {
+  // 20 rows all covered by Split('|', 0).
+  std::vector<ExamplePair> rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({"value" + std::to_string(i) + "|rest",
+                    "value" + std::to_string(i)});
+  }
+  DiscoveryOptions options;
+  options.min_support_fraction = 0.5;  // only the shared rule survives
+  const DiscoveryResult result = DiscoverTransformations(rows, options);
+  ASSERT_FALSE(result.cover.selected.empty());
+  for (const auto& ranked : result.cover.selected) {
+    EXPECT_GE(ranked.coverage, 10u);
+  }
+}
+
+TEST(Discovery, EmptyInputYieldsEmptyResult) {
+  const DiscoveryResult result =
+      DiscoverTransformations({}, DiscoveryOptions());
+  EXPECT_EQ(result.num_rows, 0u);
+  EXPECT_TRUE(result.top.empty());
+  EXPECT_TRUE(result.cover.selected.empty());
+}
+
+TEST(Discovery, IdenticalColumnsAreFullyCoverable) {
+  // Anchored extraction proposes Substr(0, len) per row; rows of equal
+  // length share one transformation, so the cover is small but complete.
+  // (A length-agnostic identity would need Split(c, 0) for a character
+  // absent from every source, which anchored extraction never proposes.)
+  const std::vector<ExamplePair> rows = {
+      {"alpha", "alpha"}, {"beta", "beta"}, {"gamma", "gamma"}};
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, DiscoveryOptions());
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.top[0].coverage, 2u);  // Substr(0,5): alpha + gamma
+  EXPECT_DOUBLE_EQ(result.CoverSetCoverageFraction(), 1.0);
+}
+
+TEST(Discovery, StatsAreConsistent) {
+  const auto rows = PaperNameRows();
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, DiscoveryOptions());
+  const DiscoveryStats& s = result.stats;
+  EXPECT_EQ(s.rows, rows.size());
+  EXPECT_GT(s.generated_transformations, 0u);
+  EXPECT_EQ(s.unique_transformations, result.store.size());
+  EXPECT_LE(s.unique_transformations, s.generated_transformations);
+  EXPECT_EQ(s.cache_hits + s.full_evaluations,
+            result.store.size() * rows.size());
+  EXPECT_GE(s.DuplicateRatio(), 0.0);
+  EXPECT_LE(s.DuplicateRatio(), 1.0);
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,140 @@
+// Tests for the row matcher (IRF/Rscore, Algorithm 1) and the inverted
+// index.
+
+#include <gtest/gtest.h>
+
+#include "datagen/figure1.h"
+#include "index/inverted_index.h"
+#include "match/metrics.h"
+#include "match/row_matcher.h"
+
+namespace tj {
+namespace {
+
+TEST(InvertedIndex, PostingsAreSortedAndDeduplicated) {
+  Column c("v", {"abab", "zzab", "qqqq"});
+  const auto index = NgramInvertedIndex::Build(c, 2, 2, false);
+  const auto& rows = index.Lookup("ab");
+  ASSERT_EQ(rows.size(), 2u);  // row 0 contains "ab" twice: counted once
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 1u);
+  EXPECT_TRUE(index.Lookup("xy").empty());
+}
+
+TEST(InvertedIndex, DfMatchesPostingSize) {
+  Column c("v", {"hello", "hell", "help"});
+  const auto index = NgramInvertedIndex::Build(c, 4, 4, false);
+  EXPECT_EQ(index.Df("hell"), 2u);
+  EXPECT_EQ(index.Df("help"), 1u);
+  EXPECT_EQ(index.Df("nope"), 0u);
+}
+
+TEST(InvertedIndex, LowercasingFoldsCase) {
+  Column c("v", {"ABCD"});
+  const auto index = NgramInvertedIndex::Build(c, 4, 4, true);
+  EXPECT_EQ(index.Df("abcd"), 1u);
+  EXPECT_EQ(index.Df("ABCD"), 0u);  // queries must be lowercased too
+}
+
+TEST(InvertedIndex, IndexesAllSizesInRange) {
+  Column c("v", {"abcdef"});
+  const auto index = NgramInvertedIndex::Build(c, 2, 4, false);
+  EXPECT_EQ(index.Df("ab"), 1u);
+  EXPECT_EQ(index.Df("abc"), 1u);
+  EXPECT_EQ(index.Df("abcd"), 1u);
+  EXPECT_EQ(index.Df("abcde"), 0u);  // size 5 beyond nmax
+}
+
+TEST(Irf, InverseOfRowFrequency) {
+  Column c("v", {"xx aa", "yy aa", "zz"});
+  const auto index = NgramInvertedIndex::Build(c, 2, 2, false);
+  EXPECT_DOUBLE_EQ(InverseRowFrequency(index, "aa"), 0.5);
+  EXPECT_DOUBLE_EQ(InverseRowFrequency(index, "zz"), 1.0);
+  EXPECT_DOUBLE_EQ(InverseRowFrequency(index, "qq"), 0.0);
+}
+
+TEST(Rscore, ProductOfBothSides) {
+  Column source("s", {"abcd", "abxy"});
+  Column target("t", {"abcd", "cdef"});
+  const auto si = NgramInvertedIndex::Build(source, 2, 2, false);
+  const auto ti = NgramInvertedIndex::Build(target, 2, 2, false);
+  // "ab": df_s = 2, df_t = 1 -> 0.5; "cd": df_s = 1, df_t = 2 -> 0.5.
+  EXPECT_DOUBLE_EQ(Rscore(si, ti, "ab"), 0.5);
+  EXPECT_DOUBLE_EQ(Rscore(si, ti, "cd"), 0.5);
+  EXPECT_DOUBLE_EQ(Rscore(si, ti, "zz"), 0.0);
+}
+
+TEST(RowMatcher, MatchesFigure1NamePhonePair) {
+  const TablePair pair = Figure1NamePhonePair();
+  const RowMatchResult result = FindJoinablePairs(
+      pair.SourceColumn(), pair.TargetColumn(), RowMatchOptions());
+  const PrfMetrics m = EvaluatePairs(result.pairs, pair.golden);
+  // Last names are distinctive: matching should be near perfect.
+  EXPECT_GE(m.recall, 0.99);
+  EXPECT_GE(m.precision, 0.8);
+}
+
+TEST(RowMatcher, SourceRowsWithoutSharedGramsAreUnmatched) {
+  Column source("s", {"completely-distinct-alpha", "shared-block-here"});
+  Column target("t", {"shared-block-here too"});
+  const RowMatchResult result =
+      FindJoinablePairs(source, target, RowMatchOptions());
+  EXPECT_EQ(result.unmatched_source_rows, 1u);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0].source, 1u);
+}
+
+TEST(RowMatcher, MaxPairsCapsOutput) {
+  Column source("s", {"aaaa1", "aaaa2", "aaaa3"});
+  Column target("t", {"aaaa1", "aaaa2", "aaaa3"});
+  RowMatchOptions options;
+  options.max_pairs = 2;
+  const RowMatchResult result = FindJoinablePairs(source, target, options);
+  EXPECT_LE(result.pairs.size(), 2u);
+}
+
+TEST(PickSourceColumn, PrefersLongerAverage) {
+  Column longer("a", {"a much longer description here"});
+  Column shorter("b", {"short"});
+  EXPECT_TRUE(PickSourceColumn(longer, shorter));
+  EXPECT_FALSE(PickSourceColumn(shorter, longer));
+}
+
+TEST(Metrics, PerfectPrediction) {
+  PairSet golden;
+  golden.Add({0, 0});
+  golden.Add({1, 1});
+  const PrfMetrics m = EvaluatePairs({{0, 0}, {1, 1}}, golden);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(Metrics, MixedPrediction) {
+  PairSet golden;
+  golden.Add({0, 0});
+  golden.Add({1, 1});
+  golden.Add({2, 2});
+  const PrfMetrics m = EvaluatePairs({{0, 0}, {5, 5}}, golden);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_NEAR(m.recall, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, DuplicatesCountOnce) {
+  PairSet golden;
+  golden.Add({0, 0});
+  const PrfMetrics m = EvaluatePairs({{0, 0}, {0, 0}, {0, 0}}, golden);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_EQ(m.predicted, 1u);
+}
+
+TEST(Metrics, EmptyCasesAreSafe) {
+  PairSet golden;
+  const PrfMetrics none = EvaluatePairs({}, golden);
+  EXPECT_DOUBLE_EQ(none.precision, 0.0);
+  EXPECT_DOUBLE_EQ(none.recall, 0.0);
+  EXPECT_DOUBLE_EQ(none.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,217 @@
+// Tests for placeholder detection, skeleton enumeration (§4.1.3), and
+// unit-candidate extraction (§4.1.4).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/placeholder.h"
+#include "core/skeleton.h"
+#include "core/unit_extraction.h"
+#include "text/lcp.h"
+
+namespace tj {
+namespace {
+
+Skeleton Maximal(std::string_view source, std::string_view target) {
+  const LcpTable lcp = LcpTable::Build(source, target);
+  return BuildMaximalSkeleton(lcp, /*max_matches=*/4);
+}
+
+std::string Render(const Skeleton& skeleton, std::string_view target) {
+  std::string out;
+  for (const auto& block : skeleton.blocks) {
+    out += block.is_placeholder ? "P(" : "L(";
+    out += target.substr(block.begin, block.end - block.begin);
+    out += ")";
+  }
+  return out;
+}
+
+TEST(MaximalSkeleton, GreedyLeftmostLongestDecomposition) {
+  // Figure 2's pair: placeholders "michael" and "bowling", literals between.
+  const std::string source = "bowling, michael";
+  const std::string target = "michael.bowling";
+  const Skeleton s = Maximal(source, target);
+  EXPECT_EQ(Render(s, target), "P(michael)L(.)P(bowling)");
+  EXPECT_EQ(s.num_placeholders, 2);
+}
+
+TEST(MaximalSkeleton, WholeTargetLiteralWhenNothingMatches) {
+  const std::string target = "xyz";
+  const Skeleton s = Maximal("abc", target);
+  EXPECT_EQ(Render(s, target), "L(xyz)");
+  EXPECT_EQ(s.num_placeholders, 0);
+}
+
+TEST(MaximalSkeleton, WholeTargetPlaceholderWhenContained) {
+  const std::string target = "bcd";
+  const Skeleton s = Maximal("abcde", target);
+  EXPECT_EQ(Render(s, target), "P(bcd)");
+  ASSERT_EQ(s.blocks[0].src_positions.size(), 1u);
+  EXPECT_EQ(s.blocks[0].src_positions[0], 1u);
+}
+
+TEST(MaximalSkeleton, RecordsAllMatchPositionsUpToCap) {
+  const Skeleton s = Maximal("abab", "ab");
+  ASSERT_EQ(s.blocks.size(), 1u);
+  EXPECT_EQ(s.blocks[0].src_positions, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(EnumerateSkeletons, VictorExampleProducesPaperSkeletons) {
+  // §4.1.3: ("Victor Robbie Kasumba", "Victor R. Kasumba"). Our greedy
+  // decomposition anchors the space before "Kasumba" inside the trailing
+  // placeholder (" Kasumba" occurs in the source), so the paper's
+  // <P'Victor R', L'. ', P'Kasumba'> appears as
+  // <P'Victor R', L'.', P' Kasumba'> — identical after literal merging.
+  const std::string source = "Victor Robbie Kasumba";
+  const std::string target = "Victor R. Kasumba";
+  const LcpTable lcp = LcpTable::Build(source, target);
+  DiscoveryOptions options;
+  const auto skeletons = EnumerateSkeletons(target, lcp, options);
+
+  std::set<std::string> rendered;
+  for (const auto& s : skeletons) rendered.insert(Render(s, target));
+  EXPECT_TRUE(rendered.count("P(Victor R)L(.)P( Kasumba)"))
+      << "maximal skeleton missing";
+  EXPECT_TRUE(rendered.count("P(Victor)L( )P(R)L(.)P( Kasumba)"))
+      << "first tokenized variant missing (the paper's second skeleton)";
+  EXPECT_TRUE(rendered.count("P(Victor R)L(.)L( )P(Kasumba)"))
+      << "second tokenized variant missing";
+  EXPECT_TRUE(rendered.count("L(Victor R. Kasumba)"))
+      << "all-literal skeleton missing";
+}
+
+TEST(EnumerateSkeletons, RespectsPlaceholderCap) {
+  DiscoveryOptions options;
+  options.max_placeholders = 2;
+  const std::string source = "Victor Robbie Kasumba";
+  const std::string target = "Victor R. Kasumba";
+  const LcpTable lcp = LcpTable::Build(source, target);
+  for (const auto& s : EnumerateSkeletons(target, lcp, options)) {
+    EXPECT_LE(s.num_placeholders, 2);
+  }
+}
+
+TEST(EnumerateSkeletons, DemotesExcessPlaceholdersInsteadOfDropping) {
+  // A target whose constant region shares characters with the source: the
+  // base skeleton fragments into many chance placeholders, which must be
+  // demoted to literals rather than losing the row entirely.
+  const std::string source = "bowling, michael";
+  const std::string target = "michael.bowling@ualberta.ca";
+  const LcpTable lcp = LcpTable::Build(source, target);
+  DiscoveryOptions options;
+  const auto skeletons = EnumerateSkeletons(target, lcp, options);
+  bool found_two_long_placeholders = false;
+  for (const auto& s : skeletons) {
+    int long_placeholders = 0;
+    for (const auto& b : s.blocks) {
+      if (b.is_placeholder && b.length() >= 7) ++long_placeholders;
+    }
+    if (long_placeholders == 2) found_two_long_placeholders = true;
+    EXPECT_LE(s.num_placeholders, options.max_placeholders);
+  }
+  EXPECT_TRUE(found_two_long_placeholders);
+}
+
+TEST(EnumerateSkeletons, EmptyTargetYieldsNothing) {
+  const LcpTable lcp = LcpTable::Build("abc", "");
+  EXPECT_TRUE(EnumerateSkeletons("", lcp, DiscoveryOptions()).empty());
+}
+
+// ---- Unit extraction ----
+
+class ExtractionTest : public ::testing::Test {
+ protected:
+  /// Extracts candidates for the given occurrence of `text` in `target`.
+  std::vector<Unit> Extract(const std::string& source,
+                            const std::string& target,
+                            const std::string& text,
+                            const DiscoveryOptions& options = {}) {
+    const size_t tpos = target.find(text);
+    EXPECT_NE(tpos, std::string::npos);
+    SkeletonBlock block;
+    block.is_placeholder = true;
+    block.begin = static_cast<uint32_t>(tpos);
+    block.end = static_cast<uint32_t>(tpos + text.size());
+    const LcpTable lcp = LcpTable::Build(source, target);
+    lcp.MatchPositions(block.begin, text.size(), &block.src_positions);
+    std::vector<UnitId> ids;
+    ExtractUnitsForPlaceholder(source, target, block, options, &units_, &ids);
+    std::vector<Unit> out;
+    for (UnitId id : ids) out.push_back(units_.Get(id));
+    return out;
+  }
+
+  UnitInterner units_;
+};
+
+TEST_F(ExtractionTest, EveryCandidateEmitsThePlaceholderText) {
+  // The central extraction invariant (checked here in release builds too).
+  const std::string source = "prus-czarnecki, andrzej";
+  const std::string target = "a prus-czarnecki";
+  for (const Unit& u : Extract(source, target, "prus-czarnecki")) {
+    const auto out = u.Eval(source);
+    ASSERT_TRUE(out.has_value()) << u.ToString();
+    EXPECT_EQ(*out, "prus-czarnecki") << u.ToString();
+  }
+}
+
+TEST_F(ExtractionTest, IncludesSubstrSplitAndLiteral) {
+  const std::string source = "abc,def";
+  const std::string target = "def";
+  std::set<UnitKind> kinds;
+  for (const Unit& u : Extract(source, target, "def")) kinds.insert(u.kind);
+  EXPECT_TRUE(kinds.count(UnitKind::kSubstr));
+  EXPECT_TRUE(kinds.count(UnitKind::kSplit));    // piece after ','
+  EXPECT_TRUE(kinds.count(UnitKind::kLiteral));  // constant fallback
+}
+
+TEST_F(ExtractionTest, SplitEmittedOnlyWhenPieceEqualsText) {
+  const std::string source = "xx-abcd-yy";
+  // "abc" is a strict prefix of the piece "abcd": Split must not appear,
+  // SplitSubstr must.
+  std::set<UnitKind> kinds;
+  for (const Unit& u : Extract(source, "abc", "abc")) {
+    kinds.insert(u.kind);
+    if (u.kind == UnitKind::kSplit) {
+      ADD_FAILURE() << "Split may not produce a strict sub-piece: "
+                    << u.ToString();
+    }
+  }
+  EXPECT_TRUE(kinds.count(UnitKind::kSplitSubstr));
+}
+
+TEST_F(ExtractionTest, TwoCharCandidatesWhenEnabled) {
+  DiscoveryOptions options;
+  options.enable_twochar_split_substr = true;
+  const std::string source = "(780) 433-6545";
+  bool has_twochar = false;
+  for (const Unit& u : Extract(source, "780", "780", options)) {
+    if (u.kind == UnitKind::kTwoCharSplitSubstr) {
+      has_twochar = true;
+      const auto out = u.Eval(source);
+      ASSERT_TRUE(out.has_value());
+      EXPECT_EQ(*out, "780");
+    }
+  }
+  EXPECT_TRUE(has_twochar);
+}
+
+TEST_F(ExtractionTest, TwoCharAbsentWhenDisabled) {
+  for (const Unit& u : Extract("(780) 433", "780", "780")) {
+    EXPECT_NE(u.kind, UnitKind::kTwoCharSplitSubstr);
+  }
+}
+
+TEST_F(ExtractionTest, RespectsUnitCap) {
+  DiscoveryOptions options;
+  options.max_units_per_placeholder = 3;
+  const auto units = Extract("aXbXcXdXe-target-fXg", "target", "target",
+                             options);
+  EXPECT_LE(units.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tj

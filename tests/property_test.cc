@@ -1,0 +1,305 @@
+// Property-based tests: randomized sweeps over seeds and configurations,
+// checking the library's core invariants rather than fixed examples.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "core/discovery.h"
+#include "datagen/synth.h"
+#include "table/csv.h"
+#include "text/tokenizer.h"
+
+namespace tj {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Unit semantics: every non-constant unit's output is a substring of its
+// input; Eval never reads out of range for arbitrary parameters.
+// ---------------------------------------------------------------------------
+
+class UnitPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnitPropertyTest, NonConstantOutputsAreSubstringsOfInput) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string input =
+        rng.RandomString(1 + rng.Uniform(40), "abcd-,. xyz01");
+    Unit u;
+    switch (rng.Uniform(4)) {
+      case 0:
+        u = Unit::MakeSubstr(static_cast<int32_t>(rng.UniformInt(-2, 45)),
+                             static_cast<int32_t>(rng.UniformInt(-2, 45)));
+        break;
+      case 1:
+        u = Unit::MakeSplit(rng.PickChar("abc-,."),
+                            static_cast<int32_t>(rng.UniformInt(-1, 5)));
+        break;
+      case 2:
+        u = Unit::MakeSplitSubstr(rng.PickChar("abc-,."),
+                                  static_cast<int32_t>(rng.UniformInt(-1, 4)),
+                                  static_cast<int32_t>(rng.UniformInt(-2, 20)),
+                                  static_cast<int32_t>(rng.UniformInt(-2, 20)));
+        break;
+      default:
+        u = Unit::MakeTwoCharSplitSubstr(
+            rng.PickChar("abc-,."), rng.PickChar("xyz01"),
+            static_cast<int32_t>(rng.UniformInt(-1, 3)),
+            static_cast<int32_t>(rng.UniformInt(-2, 10)),
+            static_cast<int32_t>(rng.UniformInt(-2, 10)));
+    }
+    const auto out = u.Eval(input);
+    if (out.has_value() && !out->empty()) {
+      EXPECT_NE(input.find(*out), std::string::npos)
+          << u.ToString() << " on '" << input << "'";
+    }
+  }
+}
+
+TEST_P(UnitPropertyTest, EqualUnitsAreInternedToTheSameId) {
+  Rng rng(GetParam());
+  UnitInterner interner;
+  for (int trial = 0; trial < 100; ++trial) {
+    const char c = rng.PickChar("ab,");
+    const auto i = static_cast<int32_t>(rng.Uniform(3));
+    const UnitId a = interner.Intern(Unit::MakeSplit(c, i));
+    const UnitId b = interner.Intern(Unit::MakeSplit(c, i));
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_LE(interner.size(), 9u);  // 3 chars x 3 indexes
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnitPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Split semantics: NthSplitPiece agrees with SplitByChar for every index,
+// and concatenating the pieces with the delimiter restores the input.
+// ---------------------------------------------------------------------------
+
+class SplitPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, char>> {};
+
+TEST_P(SplitPropertyTest, PiecesRoundTrip) {
+  const auto [seed, delim] = GetParam();
+  Rng rng(seed);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string alphabet = "xy01";
+    alphabet.push_back(delim);
+    const std::string input = rng.RandomString(rng.Uniform(30), alphabet);
+    const auto pieces = SplitByChar(input, delim);
+    EXPECT_EQ(pieces.size(), CountSplitPieces(input, delim));
+    std::string rebuilt;
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      if (i > 0) rebuilt.push_back(delim);
+      rebuilt.append(pieces[i]);
+      EXPECT_EQ(NthSplitPiece(input, delim, static_cast<int32_t>(i)),
+                pieces[i]);
+    }
+    EXPECT_EQ(rebuilt, input);
+    EXPECT_FALSE(
+        NthSplitPiece(input, delim, static_cast<int32_t>(pieces.size()))
+            .has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDelims, SplitPropertyTest,
+    ::testing::Combine(::testing::Values(7, 11, 19),
+                       ::testing::Values(',', ' ', '-', 'x')));
+
+// ---------------------------------------------------------------------------
+// Discovery invariants over synthetic workloads.
+// ---------------------------------------------------------------------------
+
+struct SynthCase {
+  size_t rows;
+  int min_len;
+  int max_len;
+  uint64_t seed;
+};
+
+class DiscoveryPropertyTest : public ::testing::TestWithParam<SynthCase> {
+ protected:
+  static SynthDataset MakeDataset(const SynthCase& c) {
+    SynthOptions options;
+    options.num_rows = c.rows;
+    options.min_len = c.min_len;
+    options.max_len = c.max_len;
+    options.seed = c.seed;
+    return GenerateSynth(options);
+  }
+
+  static std::vector<ExamplePair> Examples(const SynthDataset& ds) {
+    return MakeExamplePairs(ds.pair.SourceColumn(), ds.pair.TargetColumn(),
+                            ds.pair.golden.pairs());
+  }
+};
+
+TEST_P(DiscoveryPropertyTest, CleanSyntheticInputIsFullyCovered) {
+  const SynthDataset ds = MakeDataset(GetParam());
+  const DiscoveryResult result =
+      DiscoverTransformations(Examples(ds), DiscoveryOptions());
+  EXPECT_DOUBLE_EQ(result.CoverSetCoverageFraction(), 1.0);
+  // The generator plants 3 rules; greedy may need at most a few more.
+  EXPECT_LE(result.cover.selected.size(), 6u);
+}
+
+TEST_P(DiscoveryPropertyTest, ReportedCoverageMatchesRecount) {
+  const SynthDataset ds = MakeDataset(GetParam());
+  const auto rows = Examples(ds);
+  const DiscoveryResult result =
+      DiscoverTransformations(rows, DiscoveryOptions());
+  for (const auto& ranked : result.top) {
+    const Transformation& t = result.store.Get(ranked.id);
+    uint32_t recount = 0;
+    for (const auto& row : rows) {
+      if (t.Covers(row.source, row.target, result.units)) ++recount;
+    }
+    EXPECT_EQ(recount, ranked.coverage)
+        << t.ToString(result.units);
+  }
+}
+
+TEST_P(DiscoveryPropertyTest, StoreContainsNoDuplicates) {
+  const SynthDataset ds = MakeDataset(GetParam());
+  const DiscoveryResult result =
+      DiscoverTransformations(Examples(ds), DiscoveryOptions());
+  std::unordered_set<uint64_t> hashes;
+  for (size_t t = 0; t < result.store.size(); ++t) {
+    const uint64_t h =
+        result.store.Get(static_cast<TransformationId>(t)).Hash();
+    // Hash collisions are possible in principle; equality-check on clash.
+    if (!hashes.insert(h).second) {
+      for (size_t u = 0; u < t; ++u) {
+        EXPECT_FALSE(result.store.Get(static_cast<TransformationId>(u)) ==
+                     result.store.Get(static_cast<TransformationId>(t)));
+      }
+    }
+  }
+}
+
+TEST_P(DiscoveryPropertyTest, CoverMarginalGainsAreNonIncreasing) {
+  const SynthDataset ds = MakeDataset(GetParam());
+  const DiscoveryResult result =
+      DiscoverTransformations(Examples(ds), DiscoveryOptions());
+  const auto& gains = result.cover.marginal_gains;
+  for (size_t i = 1; i < gains.size(); ++i) {
+    EXPECT_LE(gains[i], gains[i - 1]);
+  }
+  size_t total = 0;
+  for (uint32_t g : gains) total += g;
+  EXPECT_EQ(total, result.cover.covered_rows);
+  EXPECT_EQ(result.cover.covered.Count(), result.cover.covered_rows);
+}
+
+TEST_P(DiscoveryPropertyTest, NegCacheIsAPureOptimization) {
+  const SynthDataset ds = MakeDataset(GetParam());
+  const auto rows = Examples(ds);
+  DiscoveryOptions with;
+  DiscoveryOptions without;
+  without.enable_neg_cache = false;
+  const DiscoveryResult a = DiscoverTransformations(rows, with);
+  const DiscoveryResult b = DiscoverTransformations(rows, without);
+  EXPECT_EQ(a.stats.unique_transformations, b.stats.unique_transformations);
+  ASSERT_EQ(a.top.size(), b.top.size());
+  for (size_t i = 0; i < a.top.size(); ++i) {
+    EXPECT_EQ(a.top[i].coverage, b.top[i].coverage);
+  }
+  EXPECT_EQ(a.cover.covered_rows, b.cover.covered_rows);
+}
+
+TEST_P(DiscoveryPropertyTest, TopListIsSortedByCoverageThenId) {
+  const SynthDataset ds = MakeDataset(GetParam());
+  const DiscoveryResult result =
+      DiscoverTransformations(Examples(ds), DiscoveryOptions());
+  for (size_t i = 1; i < result.top.size(); ++i) {
+    const auto& prev = result.top[i - 1];
+    const auto& curr = result.top[i];
+    EXPECT_TRUE(prev.coverage > curr.coverage ||
+                (prev.coverage == curr.coverage && prev.id < curr.id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SynthConfigs, DiscoveryPropertyTest,
+    ::testing::Values(SynthCase{20, 20, 35, 101}, SynthCase{40, 20, 35, 102},
+                      SynthCase{20, 40, 70, 103}, SynthCase{40, 40, 70, 104},
+                      SynthCase{60, 12, 20, 105}, SynthCase{30, 28, 28, 106}),
+    [](const ::testing::TestParamInfo<SynthCase>& info) {
+      return "rows" + std::to_string(info.param.rows) + "_len" +
+             std::to_string(info.param.min_len) + "to" +
+             std::to_string(info.param.max_len);
+    });
+
+// ---------------------------------------------------------------------------
+// CSV fuzz round-trip.
+// ---------------------------------------------------------------------------
+
+class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, WriteThenReadIsIdentity) {
+  Rng rng(GetParam());
+  const size_t cols = 1 + rng.Uniform(4);
+  const size_t rows = rng.Uniform(20);
+  Table table("fuzz");
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<std::string> values;
+    for (size_t r = 0; r < rows; ++r) {
+      values.push_back(
+          rng.RandomString(rng.Uniform(12), "ab,\"\n' x"));
+    }
+    ASSERT_TRUE(
+        table.AddColumn(Column("col" + std::to_string(c), std::move(values)))
+            .ok());
+  }
+  const auto parsed = ReadCsvString(WriteCsvString(table));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_columns(), cols);
+  ASSERT_EQ(parsed->num_rows(), rows);
+  for (size_t c = 0; c < cols; ++c) {
+    for (size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(parsed->column(c).Get(r), table.column(c).Get(r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// ---------------------------------------------------------------------------
+// DynamicBitset against a std::set reference model.
+// ---------------------------------------------------------------------------
+
+class BitsetFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitsetFuzzTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const size_t size = 1 + rng.Uniform(300);
+  DynamicBitset bits(size);
+  std::set<size_t> model;
+  for (int op = 0; op < 500; ++op) {
+    const size_t i = rng.Uniform(size);
+    if (rng.Bernoulli(0.6)) {
+      bits.Set(i);
+      model.insert(i);
+    } else {
+      bits.Reset(i);
+      model.erase(i);
+    }
+  }
+  EXPECT_EQ(bits.Count(), model.size());
+  std::vector<size_t> visited;
+  bits.ForEachSet([&](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, std::vector<size_t>(model.begin(), model.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetFuzzTest,
+                         ::testing::Range<uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace tj

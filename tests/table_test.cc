@@ -1,0 +1,135 @@
+// Tests for the table substrate: Column, Table, CSV round-trips, PairSet.
+
+#include <gtest/gtest.h>
+
+#include "table/csv.h"
+#include "table/table.h"
+#include "table/table_pair.h"
+
+namespace tj {
+namespace {
+
+TEST(Column, BasicAccessors) {
+  Column c("name", {"a", "bb", "ccc"});
+  EXPECT_EQ(c.name(), "name");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.Get(1), "bb");
+  EXPECT_DOUBLE_EQ(c.AverageLength(), 2.0);
+}
+
+TEST(Column, EmptyColumnAverageLengthIsZero) {
+  Column c("x");
+  EXPECT_DOUBLE_EQ(c.AverageLength(), 0.0);
+}
+
+TEST(Table, AddColumnEnforcesRowCount) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(Column("a", {"1", "2"})).ok());
+  const Status bad = t.AddColumn(Column("b", {"1"}));
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_columns(), 1u);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, AddColumnRejectsDuplicateNames) {
+  Table t;
+  ASSERT_TRUE(t.AddColumn(Column("a", {"1"})).ok());
+  EXPECT_EQ(t.AddColumn(Column("a", {"2"})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Table, ColumnLookup) {
+  Table t;
+  ASSERT_TRUE(t.AddColumn(Column("x", {"1"})).ok());
+  ASSERT_TRUE(t.AddColumn(Column("y", {"2"})).ok());
+  const auto idx = t.ColumnIndex("y");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(t.ColumnIndex("z").ok());
+  EXPECT_NE(t.FindColumn("x"), nullptr);
+  EXPECT_EQ(t.FindColumn("z"), nullptr);
+}
+
+TEST(Csv, ParsesHeaderAndRows) {
+  const auto result = ReadCsvString("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(result.ok());
+  const Table& t = *result;
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).name(), "a");
+  EXPECT_EQ(t.column(1).Get(1), "4");
+}
+
+TEST(Csv, QuotedFieldsWithEmbeddedSeparatorsAndQuotes) {
+  const auto result =
+      ReadCsvString("name,notes\n\"Smith, J\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).Get(0), "Smith, J");
+  EXPECT_EQ(result->column(1).Get(0), "said \"hi\"");
+}
+
+TEST(Csv, QuotedNewlineInsideField) {
+  const auto result = ReadCsvString("a\n\"line1\nline2\"\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).Get(0), "line1\nline2");
+}
+
+TEST(Csv, CrLfLineEndings) {
+  const auto result = ReadCsvString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(1).Get(0), "2");
+}
+
+TEST(Csv, RaggedRowIsAnError) {
+  const auto result = ReadCsvString("a,b\n1\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Csv, UnterminatedQuoteIsAnError) {
+  const auto result = ReadCsvString("a\n\"oops\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Csv, EmptyInputIsAnError) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(Csv, NoHeaderModeSynthesizesNames) {
+  CsvOptions options;
+  options.has_header = false;
+  const auto result = ReadCsvString("1,2\n3,4\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->column(0).name(), "col0");
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST(Csv, RoundTripPreservesContent) {
+  Table t("rt");
+  ASSERT_TRUE(t.AddColumn(Column("a,b", {"x", "with \"q\"", "multi\nline"}))
+                  .ok());
+  ASSERT_TRUE(t.AddColumn(Column("plain", {"1", "2", "3"})).ok());
+  const std::string csv = WriteCsvString(t);
+  const auto parsed = ReadCsvString(csv);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->column(0).name(), "a,b");
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(parsed->column(0).Get(r), t.column(0).Get(r));
+    EXPECT_EQ(parsed->column(1).Get(r), t.column(1).Get(r));
+  }
+}
+
+TEST(PairSet, AddDeduplicatesAndKeepsOrder) {
+  PairSet s;
+  EXPECT_TRUE(s.Add(RowPair{1, 2}));
+  EXPECT_TRUE(s.Add(RowPair{2, 3}));
+  EXPECT_FALSE(s.Add(RowPair{1, 2}));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(RowPair{1, 2}));
+  EXPECT_FALSE(s.Contains(RowPair{2, 2}));
+  EXPECT_EQ(s.pairs()[0], (RowPair{1, 2}));
+  EXPECT_EQ(s.pairs()[1], (RowPair{2, 3}));
+}
+
+}  // namespace
+}  // namespace tj

@@ -1,0 +1,168 @@
+// Semantics of the five transformation units (paper §2, DESIGN.md §2).
+
+#include "core/unit.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+namespace tj {
+namespace {
+
+std::optional<std::string> Eval(const Unit& u, std::string_view input) {
+  const auto out = u.Eval(input);
+  if (!out.has_value()) return std::nullopt;
+  return std::string(*out);
+}
+
+TEST(LiteralUnit, ReturnsConstantForAnyInput) {
+  const Unit u = Unit::MakeLiteral("@ualberta.ca");
+  EXPECT_EQ(Eval(u, "anything"), "@ualberta.ca");
+  EXPECT_EQ(Eval(u, ""), "@ualberta.ca");
+  EXPECT_TRUE(u.IsConstant());
+}
+
+TEST(LiteralUnit, EmptyLiteralYieldsEmptyString) {
+  const Unit u = Unit::MakeLiteral("");
+  EXPECT_EQ(Eval(u, "abc"), "");
+}
+
+TEST(SubstrUnit, HalfOpenZeroBasedRange) {
+  const Unit u = Unit::MakeSubstr(0, 7);
+  EXPECT_EQ(Eval(u, "Victor Robbie Kasumba"), "Victor ");
+  EXPECT_FALSE(u.IsConstant());
+}
+
+TEST(SubstrUnit, MidStringRange) {
+  EXPECT_EQ(Eval(Unit::MakeSubstr(14, 21), "Victor Robbie Kasumba"),
+            "Kasumba");
+}
+
+TEST(SubstrUnit, EmptyRangeYieldsEmpty) {
+  EXPECT_EQ(Eval(Unit::MakeSubstr(3, 3), "abcdef"), "");
+}
+
+TEST(SubstrUnit, FailsWhenEndPastInput) {
+  EXPECT_EQ(Eval(Unit::MakeSubstr(0, 10), "short"), std::nullopt);
+}
+
+TEST(SubstrUnit, FailsOnNegativeStart) {
+  EXPECT_EQ(Eval(Unit::MakeSubstr(-1, 2), "abc"), std::nullopt);
+}
+
+TEST(SubstrUnit, FailsWhenStartExceedsEnd) {
+  EXPECT_EQ(Eval(Unit::MakeSubstr(3, 1), "abcdef"), std::nullopt);
+}
+
+TEST(SplitUnit, ZeroBasedPieceIndex) {
+  const Unit u = Unit::MakeSplit(',', 0);
+  EXPECT_EQ(Eval(u, "prus-czarnecki, andrzej"), "prus-czarnecki");
+  EXPECT_EQ(Eval(Unit::MakeSplit(',', 1), "prus-czarnecki, andrzej"),
+            " andrzej");
+}
+
+TEST(SplitUnit, KeepsEmptyPieces) {
+  EXPECT_EQ(Eval(Unit::MakeSplit(',', 0), ",a,b"), "");
+  EXPECT_EQ(Eval(Unit::MakeSplit(',', 1), "a,,b"), "");
+  EXPECT_EQ(Eval(Unit::MakeSplit(',', 2), "a,,b"), "b");
+}
+
+TEST(SplitUnit, MissingDelimiterYieldsWholeInputAtIndexZero) {
+  EXPECT_EQ(Eval(Unit::MakeSplit('x', 0), "abc"), "abc");
+  EXPECT_EQ(Eval(Unit::MakeSplit('x', 1), "abc"), std::nullopt);
+}
+
+TEST(SplitUnit, IndexOutOfRangeFails) {
+  EXPECT_EQ(Eval(Unit::MakeSplit(',', 3), "a,b"), std::nullopt);
+  EXPECT_EQ(Eval(Unit::MakeSplit(',', -1), "a,b"), std::nullopt);
+}
+
+TEST(SplitSubstrUnit, SubstrOfPiece) {
+  // Split "bowling, michael" on ' ' -> {"bowling,", "michael"}; piece 1,
+  // then [0,1) -> "m".
+  EXPECT_EQ(Eval(Unit::MakeSplitSubstr(' ', 1, 0, 1), "bowling, michael"),
+            "m");
+}
+
+TEST(SplitSubstrUnit, FailsWhenRangeExceedsPiece) {
+  EXPECT_EQ(Eval(Unit::MakeSplitSubstr(' ', 1, 0, 20), "a b"), std::nullopt);
+}
+
+TEST(SplitSubstrUnit, FailsWhenPieceMissing) {
+  EXPECT_EQ(Eval(Unit::MakeSplitSubstr(' ', 4, 0, 1), "a b"), std::nullopt);
+}
+
+TEST(TwoCharSplitSubstrUnit, PieceBoundedByC1ThenC2) {
+  // "(780) 433-6545": between '(' and ')' lies "780".
+  EXPECT_EQ(Eval(Unit::MakeTwoCharSplitSubstr('(', ')', 0, 0, 3),
+                 "(780) 433-6545"),
+            "780");
+}
+
+TEST(TwoCharSplitSubstrUnit, OrderSensitive) {
+  // Between ')' and '(' there is no piece in "(780)".
+  EXPECT_EQ(Eval(Unit::MakeTwoCharSplitSubstr(')', '(', 0, 0, 3), "(780)"),
+            std::nullopt);
+}
+
+TEST(TwoCharSplitSubstrUnit, SelectsIthQualifyingPiece) {
+  // "a<x>b<y>" with c1='<', c2='>': qualifying pieces are "x" and "y".
+  EXPECT_EQ(Eval(Unit::MakeTwoCharSplitSubstr('<', '>', 0, 0, 1), "a<x>b<y>"),
+            "x");
+  EXPECT_EQ(Eval(Unit::MakeTwoCharSplitSubstr('<', '>', 1, 0, 1), "a<x>b<y>"),
+            "y");
+  EXPECT_EQ(Eval(Unit::MakeTwoCharSplitSubstr('<', '>', 2, 0, 1), "a<x>b<y>"),
+            std::nullopt);
+}
+
+TEST(TwoCharSplitSubstrUnit, Lemma1CaseThree) {
+  // Input conforming to S* c1 S* c2 S*: the middle piece is reachable.
+  EXPECT_EQ(Eval(Unit::MakeTwoCharSplitSubstr(',', ';', 0, 0, 6),
+                 "before,middle;after"),
+            "middle");
+}
+
+TEST(UnitEquality, DistinguishesKindsAndParams) {
+  EXPECT_EQ(Unit::MakeSubstr(1, 3), Unit::MakeSubstr(1, 3));
+  EXPECT_FALSE(Unit::MakeSubstr(1, 3) == Unit::MakeSubstr(1, 4));
+  EXPECT_FALSE(Unit::MakeSplit('a', 1) == Unit::MakeSplitSubstr('a', 1, 0, 1));
+  EXPECT_EQ(Unit::MakeLiteral("x"), Unit::MakeLiteral("x"));
+  EXPECT_FALSE(Unit::MakeLiteral("x") == Unit::MakeLiteral("y"));
+}
+
+TEST(UnitHash, EqualUnitsHashEqual) {
+  EXPECT_EQ(Unit::MakeSplit(',', 2).Hash(), Unit::MakeSplit(',', 2).Hash());
+  EXPECT_NE(Unit::MakeSplit(',', 2).Hash(), Unit::MakeSplit(',', 3).Hash());
+}
+
+TEST(UnitToString, PrettyForms) {
+  EXPECT_EQ(Unit::MakeSubstr(0, 7).ToString(), "Substr(0,7)");
+  EXPECT_EQ(Unit::MakeSplit(',', 0).ToString(), "Split(',',0)");
+  EXPECT_EQ(Unit::MakeLiteral(". ").ToString(), "Literal('. ')");
+  EXPECT_EQ(Unit::MakeSplitSubstr(' ', 1, 0, 1).ToString(),
+            "SplitSubstr(' ',1,0,1)");
+  EXPECT_EQ(Unit::MakeTwoCharSplitSubstr('(', ')', 0, 0, 3).ToString(),
+            "TwoCharSplitSubstr('(',')',0,0,3)");
+}
+
+// ---- Lemma 1: SplitSubstr/TwoCharSplitSubstr express SplitSplitSubstr ----
+
+TEST(Lemma1, NeitherDelimiterPresent) {
+  // Case 1: both act like Substr.
+  EXPECT_EQ(Eval(Unit::MakeSplitSubstr('x', 0, 1, 3), "abcde"), "bc");
+  EXPECT_EQ(Eval(Unit::MakeSubstr(1, 3), "abcde"), "bc");
+}
+
+TEST(Lemma1, MiddlePieceViaTwoChar) {
+  // Case 3: text between c1 and c2.
+  const std::string input = "head|mid#tail";
+  EXPECT_EQ(Eval(Unit::MakeTwoCharSplitSubstr('|', '#', 0, 0, 3), input),
+            "mid");
+  // Before c1 / after c2 via SplitSubstr.
+  EXPECT_EQ(Eval(Unit::MakeSplit('|', 0), input), "head");
+  EXPECT_EQ(Eval(Unit::MakeSplit('#', 1), input), "tail");
+}
+
+}  // namespace
+}  // namespace tj
