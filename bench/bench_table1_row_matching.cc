@@ -31,7 +31,7 @@ void Run() {
     std::vector<double> f1;
     double seconds = 0.0;
     for (const TablePair& pair : dataset.tables) {
-      const RowMatchEval eval = EvaluateRowMatching(pair);
+      const RowMatchEval eval = EvaluateRowMatching(pair, dataset.match);
       rows.push_back(static_cast<double>(pair.SourceColumn().size()));
       avg_len.push_back(pair.SourceColumn().AverageLength());
       pairs.push_back(static_cast<double>(eval.pairs));

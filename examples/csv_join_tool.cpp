@@ -2,8 +2,8 @@
 // CSV files whose join columns are formatted differently.
 //
 //   csv_join_tool <left.csv> <left-column> <right.csv> <right-column>
-//                 [--support F] [--sample N] [--rules out.tj] [--out out.csv]
-//                 [--golden pairs.csv]
+//                 [--support F] [--sample N] [--threads N] [--rules out.tj]
+//                 [--out out.csv] [--golden pairs.csv]
 //
 // The tool matches candidate rows with the n-gram matcher, discovers
 // transformations, applies those above the support threshold, equi-joins,
@@ -27,8 +27,10 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <left.csv> <left-column> <right.csv> "
                "<right-column>\n"
-               "          [--support F] [--sample N] [--rules out.tj] "
-               "[--out out.csv]\n",
+               "          [--support F] [--sample N] [--threads N] "
+               "[--rules out.tj] [--out out.csv] [--golden pairs.csv]\n"
+               "       --threads N: worker threads for matching and "
+               "discovery (0 = all cores, default)\n",
                argv0);
   return 2;
 }
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   const std::string right_column = argv[4];
   double support = 0.05;
   size_t sample = 0;
+  int threads = 0;  // 0 = hardware concurrency
   std::string rules_path;
   std::string out_path;
   std::string golden_path;
@@ -53,6 +56,14 @@ int main(int argc, char** argv) {
       support = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
       sample = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long parsed = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || parsed < 0 || parsed > 1024) {
+        std::fprintf(stderr, "invalid --threads value '%s'\n", argv[i]);
+        return Usage(argv[0]);
+      }
+      threads = static_cast<int>(parsed);
     } else if (std::strcmp(argv[i], "--rules") == 0 && i + 1 < argc) {
       rules_path = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -115,6 +126,8 @@ int main(int argc, char** argv) {
   options.matching = MatchingMode::kNgram;
   options.min_join_support = support;
   options.sample_pairs = sample;
+  options.discovery.num_threads = threads;
+  options.match_options.num_threads = threads;
   const JoinResult result = TransformJoin(pair, options);
 
   std::printf("learning pairs: %zu, discovery: %.2fs\n",

@@ -42,6 +42,16 @@ SuiteOptions SuiteOptionsFromEnv() {
     const double parsed = std::atof(scale);
     if (parsed > 0.0) options.scale = parsed;
   }
+  if (const char* threads = std::getenv("TJ_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(threads, &end, 10);
+    // Reject empty/non-numeric/absurd values so a typo keeps the serial
+    // default instead of silently flipping every bench to all-cores (0) or
+    // wrapping through the int cast.
+    if (end != threads && *end == '\0' && parsed >= 0 && parsed <= 1024) {
+      options.num_threads = static_cast<int>(parsed);
+    }
+  }
   return options;
 }
 
@@ -117,15 +127,19 @@ std::vector<BenchDataset> BuildSuite(const SuiteOptions& options) {
       suite.push_back(std::move(d));
     }
   }
+  for (BenchDataset& d : suite) {
+    d.discovery.num_threads = options.num_threads;
+    d.match.num_threads = options.num_threads;
+  }
   return suite;
 }
 
-RowMatchEval EvaluateRowMatching(const TablePair& pair) {
+RowMatchEval EvaluateRowMatching(const TablePair& pair,
+                                 const RowMatchOptions& options) {
   RowMatchEval eval;
   Stopwatch watch;
   const RowMatchResult result =
-      FindJoinablePairs(pair.SourceColumn(), pair.TargetColumn(),
-                        RowMatchOptions());
+      FindJoinablePairs(pair.SourceColumn(), pair.TargetColumn(), options);
   eval.seconds = watch.ElapsedSeconds();
   eval.pairs = result.pairs.size();
   eval.metrics = EvaluatePairs(result.pairs, pair.golden);
@@ -140,7 +154,7 @@ std::vector<ExamplePair> LearningPairs(const TablePair& pair,
     candidates = pair.golden.pairs();
   } else {
     candidates = FindJoinablePairs(pair.SourceColumn(), pair.TargetColumn(),
-                                   RowMatchOptions())
+                                   config.match)
                      .pairs;
   }
   if (config.sample_pairs != 0 && candidates.size() > config.sample_pairs) {

@@ -13,6 +13,7 @@
 #include "core/stats.h"
 #include "join/join_engine.h"
 #include "match/metrics.h"
+#include "match/row_matcher.h"
 #include "table/table_pair.h"
 
 namespace tj {
@@ -24,6 +25,9 @@ struct BenchDataset {
   std::vector<TablePair> tables;
   /// Discovery configuration (placeholder cap etc., §6.2).
   DiscoveryOptions discovery;
+  /// Row-matching configuration (thread count; the n-gram range keeps the
+  /// paper's n0=4, nmax=20 defaults).
+  RowMatchOptions match;
   /// Candidate pairs are sampled down to this count before discovery
   /// (0 = no sampling). The paper samples open data to 3000 pairs.
   size_t sample_pairs = 0;
@@ -39,13 +43,19 @@ struct SuiteOptions {
   /// tables (1.0 = defaults documented in DESIGN.md; benches read
   /// TJ_BENCH_SCALE from the environment).
   double scale = 1.0;
+  /// Worker threads for discovery and row matching in every dataset
+  /// (0 = hardware concurrency, 1 = the paper's serial setting; benches
+  /// read TJ_NUM_THREADS from the environment). Results are identical
+  /// across thread counts — only wall time changes.
+  int num_threads = 1;
   bool include_webtables = true;
   bool include_spreadsheet = true;
   bool include_opendata = true;
   bool include_synth = true;
 };
 
-/// Reads TJ_BENCH_SCALE (default 1.0) from the environment.
+/// Reads TJ_BENCH_SCALE (default 1.0) and TJ_NUM_THREADS (default 1) from
+/// the environment.
 SuiteOptions SuiteOptionsFromEnv();
 
 /// Builds the full dataset suite: web tables, spreadsheet, open data,
@@ -62,7 +72,8 @@ struct RowMatchEval {
   size_t pairs = 0;
   double seconds = 0.0;
 };
-RowMatchEval EvaluateRowMatching(const TablePair& pair);
+RowMatchEval EvaluateRowMatching(const TablePair& pair,
+                                 const RowMatchOptions& options = {});
 
 /// Discovery evaluation for Tables 2/4: learning pairs from n-gram matching
 /// or the golden set (sampled if configured), then full discovery.

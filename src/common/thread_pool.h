@@ -1,0 +1,97 @@
+// ThreadPool: the parallel-execution subsystem behind the discovery
+// pipeline's hot loops (coverage, generation, index build).
+//
+// The only primitive is a chunked ParallelFor. [0, total) is split into
+// `num_chunks` contiguous, ascending ranges; chunks are handed to workers
+// through an atomic ticket counter — no work stealing and no re-splitting.
+// This gives dynamic load balancing while keeping a simple determinism
+// contract (below) that every parallel phase in this codebase relies on.
+//
+// Determinism contract:
+//  * The partition of [0, total) into chunks depends only on (total,
+//    num_chunks), never on scheduling.
+//  * A chunk is executed exactly once, sequentially, by one thread.
+//  * Callers that write into per-chunk output buffers and merge them in
+//    chunk order therefore produce results that are bit-identical across
+//    runs and across thread counts.
+//  * Per-worker scratch state (caches, arenas) may be indexed by the
+//    `worker` id, which is in [0, size()) and stable while the pool lives.
+//    Worker-indexed state must not affect output values, only reuse
+//    allocations (e.g. the per-row negative-unit cache, which is reset per
+//    row anyway).
+
+#ifndef TJ_COMMON_THREAD_POOL_H_
+#define TJ_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tj {
+
+/// Resolves a thread-count knob: 0 means std::thread::hardware_concurrency
+/// (at least 1); negative values clamp to 1.
+int ResolveNumThreads(int num_threads);
+
+/// Fixed-size pool of workers driving chunked parallel-for jobs. The calling
+/// thread participates as worker 0, so a pool of size N spawns N - 1
+/// threads and ThreadPool(1) spawns none (every job runs inline).
+class ThreadPool {
+ public:
+  /// fn(worker, chunk, begin, end): process [begin, end) as chunk `chunk`.
+  using ChunkFn =
+      std::function<void(int worker, size_t chunk, size_t begin, size_t end)>;
+
+  /// num_threads as in ResolveNumThreads (0 = hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count, including the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn over [0, total) split into num_chunks contiguous ranges
+  /// (balanced to within one element; num_chunks is clamped to [1, total]).
+  /// Blocks until every chunk finished; rethrows the first exception thrown
+  /// by a chunk. Reusable: sequential ParallelFor calls share the workers.
+  /// Not reentrant — do not call ParallelFor from inside a chunk.
+  void ParallelFor(size_t total, size_t num_chunks, const ChunkFn& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  /// Claims and runs chunks of the current job until none remain.
+  void RunChunks(int worker, const ChunkFn& fn, size_t total,
+                 size_t num_chunks);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // a new job generation is available
+  std::condition_variable done_cv_;  // chunks finished / workers checked out
+  uint64_t generation_ = 0;          // guarded by mu_
+  bool shutdown_ = false;            // guarded by mu_
+
+  // Current job. fn_/total_/num_chunks_ are written under mu_ by
+  // ParallelFor and read under mu_ by workers when they adopt the
+  // generation; chunk tickets are claimed lock-free.
+  const ChunkFn* fn_ = nullptr;
+  size_t total_ = 0;
+  size_t num_chunks_ = 0;
+  std::atomic<size_t> next_chunk_{0};
+  std::atomic<bool> job_failed_{false};  // stop claiming once a chunk threw
+  size_t finished_chunks_ = 0;       // guarded by mu_
+  int active_workers_ = 0;           // guarded by mu_
+  std::exception_ptr first_error_;   // guarded by mu_
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_THREAD_POOL_H_

@@ -1,8 +1,11 @@
 #include "core/coverage.h"
 
 #include <algorithm>
+#include <memory>
 #include <string_view>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace tj {
@@ -12,7 +15,7 @@ namespace {
 /// product transformations, so each unit is evaluated at most once per row;
 /// the paper's negative-unit cache is the kBad state.
 ///
-/// The memo is allocated once for all rows and invalidated per row with an
+/// The memo is allocated once per worker and invalidated per row with an
 /// epoch counter — resetting multi-megabyte state vectors per row would
 /// otherwise dominate the runtime on large inputs.
 class RowUnitCache {
@@ -82,6 +85,71 @@ class RowUnitCache {
   std::vector<std::string_view> output_;
 };
 
+using CoveringPair = std::pair<uint32_t, uint32_t>;  // (transformation, row)
+
+/// Evaluates every transformation against rows [begin, end), appending
+/// covering pairs in row-major order. Rows are independent (the cache is
+/// reset per row), so the counters accumulated into `stats` are exact
+/// regardless of how the row space is sharded.
+void EvaluateRowRange(const TransformationStore& store,
+                      const UnitInterner& interner,
+                      const std::vector<ExamplePair>& rows, size_t begin,
+                      size_t end, const DiscoveryOptions& options,
+                      RowUnitCache* cache,
+                      std::vector<CoveringPair>* covering,
+                      DiscoveryStats* stats) {
+  const size_t num_t = store.size();
+  for (size_t row = begin; row < end; ++row) {
+    const std::string_view src = rows[row].source;
+    const std::string_view tgt = rows[row].target;
+    cache->BeginRow();
+
+    for (TransformationId t = 0; t < num_t; ++t) {
+      const Transformation& trans = store.Get(t);
+
+      if (options.enable_neg_cache) {
+        // The paper's pruning: skip the transformation outright if any of
+        // its units is already known not to cover this row.
+        bool pruned = false;
+        for (UnitId id : trans.units()) {
+          if (cache->state(id) == RowUnitCache::kBad) {
+            pruned = true;
+            break;
+          }
+        }
+        if (pruned) {
+          ++stats->cache_hits;
+          continue;
+        }
+      }
+
+      ++stats->full_evaluations;
+      size_t offset = 0;
+      bool covers = true;
+      for (UnitId id : trans.units()) {
+        std::string_view out;
+        const auto state = cache->Evaluate(interner.Get(id), id, src, tgt,
+                                           &stats->unit_evals, &out);
+        if (state == RowUnitCache::kBad) {
+          covers = false;
+          break;
+        }
+        if (out.size() > tgt.size() - offset ||
+            tgt.compare(offset, out.size(), out) != 0) {
+          covers = false;
+          break;
+        }
+        offset += out.size();
+      }
+      if (covers && offset == tgt.size()) {
+        covering->emplace_back(static_cast<uint32_t>(t),
+                               static_cast<uint32_t>(row));
+        ++stats->covering_pairs;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CoverageIndex ComputeCoverage(const TransformationStore& store,
@@ -98,60 +166,55 @@ CoverageIndex ComputeCoverage(const TransformationStore& store,
   // Row-major evaluation: the per-row unit cache stays hot, and every unit
   // is evaluated at most once per row. Covering pairs are collected and
   // counting-sorted into CSR by transformation afterwards.
-  std::vector<std::pair<uint32_t, uint32_t>> covering;  // (transformation, row)
-  RowUnitCache cache(interner.size(), options.enable_neg_cache);
+  std::vector<CoveringPair> covering;
+  const int num_threads = ResolveNumThreads(options.num_threads);
 
-  for (uint32_t row = 0; row < rows.size(); ++row) {
-    const std::string_view src = rows[row].source;
-    const std::string_view tgt = rows[row].target;
-    cache.BeginRow();
-
-    for (TransformationId t = 0; t < num_t; ++t) {
-      const Transformation& trans = store.Get(t);
-
-      if (options.enable_neg_cache) {
-        // The paper's pruning: skip the transformation outright if any of
-        // its units is already known not to cover this row.
-        bool pruned = false;
-        for (UnitId id : trans.units()) {
-          if (cache.state(id) == RowUnitCache::kBad) {
-            pruned = true;
-            break;
-          }
-        }
-        if (pruned) {
-          ++stats->cache_hits;
-          continue;
-        }
-      }
-
-      ++stats->full_evaluations;
-      size_t offset = 0;
-      bool covers = true;
-      for (UnitId id : trans.units()) {
-        std::string_view out;
-        const auto state = cache.Evaluate(interner.Get(id), id, src, tgt,
-                                          &stats->unit_evals, &out);
-        if (state == RowUnitCache::kBad) {
-          covers = false;
-          break;
-        }
-        if (out.size() > tgt.size() - offset ||
-            tgt.compare(offset, out.size(), out) != 0) {
-          covers = false;
-          break;
-        }
-        offset += out.size();
-      }
-      if (covers && offset == tgt.size()) {
-        covering.emplace_back(t, row);
-        ++stats->covering_pairs;
-      }
+  if (num_threads == 1 || rows.size() < 2) {
+    RowUnitCache cache(interner.size(), options.enable_neg_cache);
+    EvaluateRowRange(store, interner, rows, 0, rows.size(), options, &cache,
+                     &covering, stats);
+  } else {
+    // Sharded evaluation. Chunks are contiguous row ranges merged in chunk
+    // order, so the covering list below is in the same row-major order as
+    // the serial path and the CSR index comes out bit-identical. The unit
+    // cache is worker-scoped (it is large) and reset per row, so dynamic
+    // chunk-to-worker assignment cannot change any result or counter.
+    // Never more workers (threads + per-worker caches) than rows.
+    ThreadPool pool(static_cast<int>(std::min<size_t>(
+        static_cast<size_t>(num_threads), rows.size())));
+    const size_t num_chunks =
+        std::min(rows.size(), static_cast<size_t>(pool.size()) * 4);
+    std::vector<std::unique_ptr<RowUnitCache>> caches(
+        static_cast<size_t>(pool.size()));
+    for (auto& cache : caches) {
+      cache = std::make_unique<RowUnitCache>(interner.size(),
+                                             options.enable_neg_cache);
     }
+    std::vector<std::vector<CoveringPair>> chunk_covering(num_chunks);
+    std::vector<DiscoveryStats> worker_stats(static_cast<size_t>(pool.size()));
+
+    pool.ParallelFor(rows.size(), num_chunks,
+                     [&](int worker, size_t chunk, size_t begin, size_t end) {
+                       EvaluateRowRange(store, interner, rows, begin, end,
+                                        options, caches[worker].get(),
+                                        &chunk_covering[chunk],
+                                        &worker_stats[worker]);
+                     });
+
+    size_t total_pairs = 0;
+    for (const auto& chunk : chunk_covering) total_pairs += chunk.size();
+    covering.reserve(total_pairs);
+    for (auto& chunk : chunk_covering) {
+      covering.insert(covering.end(), chunk.begin(), chunk.end());
+    }
+    // Full element-wise merge so counters added to EvaluateRowRange later
+    // keep aggregating in parallel runs too; worker time fields are zero
+    // (the phase is timed once by the enclosing ScopedTimer).
+    for (const DiscoveryStats& ws : worker_stats) *stats += ws;
   }
 
   // Counting sort into CSR (rows ascending within each transformation
-  // because the outer loop is row-major).
+  // because the evaluation order is row-major).
   for (const auto& [t, row] : covering) ++index.offsets_[t + 1];
   for (size_t t = 1; t <= num_t; ++t) {
     index.offsets_[t] += index.offsets_[t - 1];

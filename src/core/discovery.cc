@@ -1,12 +1,77 @@
 #include "core/discovery.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/generator.h"
 
 namespace tj {
+namespace {
+
+/// One generation shard: transformations for a contiguous row range,
+/// interned into shard-local stores.
+struct GenerationShard {
+  UnitInterner units;
+  TransformationStore store;
+  DiscoveryStats stats;
+};
+
+/// Runs per-row generation over contiguous row shards in parallel, then
+/// merge-interns the shards in row order into `result`.
+///
+/// Determinism: re-interning a shard's unit table in local id order replays
+/// the units in exactly the first-encounter order a serial run would have
+/// seen for those rows, so by induction over shards the merged interner,
+/// the merged store (under both dedup settings), and every id assignment
+/// are identical to the serial path for any shard count.
+void GenerateInParallel(const std::vector<ExamplePair>& rows,
+                        const DiscoveryOptions& options, int num_threads,
+                        DiscoveryResult* result) {
+  ThreadPool pool(static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_threads), rows.size())));
+  // Over-decompose so the ticket scheduler can balance rows with expensive
+  // generation; the merge below is boundary-independent, so extra shards
+  // only cost re-interning each shard's (deduplicated) store once.
+  const size_t num_shards =
+      std::min(rows.size(), static_cast<size_t>(pool.size()) * 4);
+  std::vector<GenerationShard> shards(num_shards);
+
+  pool.ParallelFor(rows.size(), num_shards,
+                   [&](int /*worker*/, size_t shard, size_t begin,
+                       size_t end) {
+                     GenerationShard& s = shards[shard];
+                     for (size_t row = begin; row < end; ++row) {
+                       GenerateTransformationsForRow(
+                           rows[row].source, rows[row].target, options,
+                           &s.units, &s.store, &s.stats);
+                     }
+                   });
+
+  ScopedTimer merge_timer(&result->stats.time_duplicate_removal);
+  std::vector<UnitId> remap;
+  std::vector<UnitId> mapped;
+  for (GenerationShard& shard : shards) {
+    remap.resize(shard.units.size());
+    for (UnitId id = 0; id < shard.units.size(); ++id) {
+      remap[id] = result->units.Intern(shard.units.Get(id));
+    }
+    const size_t shard_size = shard.store.size();
+    for (TransformationId t = 0; t < shard_size; ++t) {
+      const std::vector<UnitId>& units = shard.store.Get(t).units();
+      mapped.assign(units.begin(), units.end());
+      for (UnitId& id : mapped) id = remap[id];
+      result->store.Intern(Transformation(mapped), options.enable_dedup);
+    }
+    result->stats += shard.stats;
+  }
+}
+
+}  // namespace
 
 double DiscoveryResult::TopCoverageFraction() const {
   if (num_rows == 0 || top.empty()) return 0.0;
@@ -48,9 +113,15 @@ DiscoveryResult DiscoverTransformations(const std::vector<ExamplePair>& rows,
   Stopwatch total;
 
   // Phases 1-3 (per row): placeholders, skeletons, units, generation.
-  for (const ExamplePair& row : rows) {
-    GenerateTransformationsForRow(row.source, row.target, options,
-                                  &result.units, &result.store, &result.stats);
+  const int num_threads = ResolveNumThreads(options.num_threads);
+  if (num_threads == 1 || rows.size() < 2) {
+    for (const ExamplePair& row : rows) {
+      GenerateTransformationsForRow(row.source, row.target, options,
+                                    &result.units, &result.store,
+                                    &result.stats);
+    }
+  } else {
+    GenerateInParallel(rows, options, num_threads, &result);
   }
   result.stats.unique_transformations = result.store.size();
 

@@ -1,10 +1,12 @@
 #include "core/generator.h"
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/timer.h"
 #include "core/skeleton.h"
 #include "core/unit_extraction.h"
@@ -30,11 +32,20 @@ void GenerateTransformationsForRow(std::string_view source,
   stats->placeholders += static_cast<uint64_t>(skeletons[0].num_placeholders);
 
   // Phase 2: candidate units per placeholder. Blocks are shared between the
-  // base skeleton and its tokenized variants, so memoize per (begin, end).
-  std::map<std::pair<uint32_t, uint32_t>, std::vector<UnitId>> unit_memo;
+  // base skeleton and its tokenized variants, so memoize per (begin, end),
+  // packed into one 64-bit key. References into the map stay valid across
+  // rehashes (only iterators are invalidated), so candidates_for can hand
+  // out stable references while new blocks are being memoized.
+  struct PackedRangeHash {
+    size_t operator()(uint64_t key) const {
+      return static_cast<size_t>(Mix64(key));
+    }
+  };
+  std::unordered_map<uint64_t, std::vector<UnitId>, PackedRangeHash> unit_memo;
   auto candidates_for = [&](const SkeletonBlock& block)
       -> const std::vector<UnitId>& {
-    const auto key = std::make_pair(block.begin, block.end);
+    const uint64_t key =
+        (static_cast<uint64_t>(block.begin) << 32) | block.end;
     auto it = unit_memo.find(key);
     if (it != unit_memo.end()) return it->second;
     std::vector<UnitId> units;

@@ -60,6 +60,15 @@ struct DiscoveryOptions {
 
   /// Number of top-coverage transformations reported.
   size_t top_k = 10;
+
+  /// Worker threads for the generation and coverage phases. 0 = hardware
+  /// concurrency, 1 = the serial reference path (the paper's setting, kept
+  /// as the default so ablation timings stay comparable). Results are
+  /// bit-identical across thread counts: shards are merged in row order, so
+  /// only wall time changes. With num_threads > 1 the per-phase
+  /// DiscoveryStats times are summed across workers (CPU seconds, not wall
+  /// seconds); counters stay exact.
+  int num_threads = 1;
 };
 
 }  // namespace tj

@@ -43,7 +43,11 @@ class TransformationStore {
   /// Number of stored (unique, unless dedup was disabled) transformations.
   size_t size() const { return items_.size(); }
 
-  /// Total Intern() calls, i.e. the paper's "generated transformations".
+  /// Total Intern() calls on this store. For a store filled by a serial
+  /// discovery run this equals the paper's "generated transformations";
+  /// under parallel discovery the merge re-interns shard-deduplicated
+  /// stores, so use DiscoveryStats::generated_transformations (exact for
+  /// every thread count) for that figure instead.
   uint64_t insert_attempts() const { return insert_attempts_; }
 
  private:

@@ -1,35 +1,88 @@
 #include "index/inverted_index.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "text/ngram.h"
 
 namespace tj {
+namespace {
 
-NgramInvertedIndex NgramInvertedIndex::Build(const Column& column, size_t n0,
-                                             size_t nmax, bool lowercase) {
-  NgramInvertedIndex index;
-  index.num_rows_ = column.size();
-  for (uint32_t row = 0; row < column.size(); ++row) {
+/// Indexes rows [begin, end) of `column` into `postings`. Rows are scanned
+/// in ascending order, so per-gram dedup needs only a back-of-list check.
+template <typename Map>
+void IndexRowRange(const Column& column, size_t begin, size_t end, size_t n0,
+                   size_t nmax, bool lowercase, Map* postings) {
+  for (size_t row = begin; row < end; ++row) {
     std::string lowered;
-    std::string_view text = column.Get(row);
+    std::string_view text = column.Get(static_cast<uint32_t>(row));
     if (lowercase) {
       lowered = ToLowerAscii(text);
       text = lowered;
     }
     for (size_t n = n0; n <= nmax && n <= text.size(); ++n) {
       ForEachNgram(text, n, [&](std::string_view gram) {
-        auto it = index.postings_.find(gram);
-        if (it == index.postings_.end()) {
-          it = index.postings_.emplace(std::string(gram),
-                                       std::vector<uint32_t>()).first;
+        auto it = postings->find(gram);
+        if (it == postings->end()) {
+          it = postings->emplace(std::string(gram), std::vector<uint32_t>())
+                   .first;
         }
-        // Rows are scanned in ascending order, so dedup needs only a
-        // back-of-list check.
-        if (it->second.empty() || it->second.back() != row) {
-          it->second.push_back(row);
+        if (it->second.empty() ||
+            it->second.back() != static_cast<uint32_t>(row)) {
+          it->second.push_back(static_cast<uint32_t>(row));
         }
       });
     }
+  }
+}
+
+}  // namespace
+
+NgramInvertedIndex NgramInvertedIndex::Build(const Column& column, size_t n0,
+                                             size_t nmax, bool lowercase,
+                                             int num_threads) {
+  NgramInvertedIndex index;
+  index.num_rows_ = column.size();
+  const int resolved = ResolveNumThreads(num_threads);
+
+  if (resolved == 1 || column.size() < 2) {
+    IndexRowRange(column, 0, column.size(), n0, nmax, lowercase,
+                  &index.postings_);
+    return index;
+  }
+
+  // Shard the rows, build a local posting map per shard, and merge shards in
+  // row order. Shard row ranges ascend with the shard id, so appending each
+  // shard's posting list keeps the merged lists ascending and deduplicated —
+  // the merged index is identical to a serial build. One shard per worker
+  // (no over-decomposition): unlike coverage, merge cost here grows with
+  // the shard count because common grams repeat their keys in every shard.
+  ThreadPool pool(static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(resolved), column.size())));
+  const size_t num_shards = static_cast<size_t>(pool.size());
+  std::vector<Map> shard_maps(num_shards);
+  pool.ParallelFor(column.size(), num_shards,
+                   [&](int /*worker*/, size_t shard, size_t begin,
+                       size_t end) {
+                     IndexRowRange(column, begin, end, n0, nmax, lowercase,
+                                   &shard_maps[shard]);
+                   });
+
+  // Shard 0's posting lists are already the correct prefixes (shard row
+  // ranges ascend), so its whole map is adopted without re-hashing. Later
+  // shards splice their first-seen grams node-wise (keys move for free);
+  // only grams present in both maps append posting entries.
+  index.postings_ = std::move(shard_maps[0]);
+  for (size_t s = 1; s < shard_maps.size(); ++s) {
+    Map& shard = shard_maps[s];
+    index.postings_.merge(shard);
+    for (auto& [gram, rows] : shard) {  // leftovers: grams already present
+      std::vector<uint32_t>& dst = index.postings_.find(gram)->second;
+      dst.insert(dst.end(), rows.begin(), rows.end());
+    }
+    Map().swap(shard);  // release shard memory as soon as merged
   }
   return index;
 }
@@ -45,6 +98,12 @@ size_t NgramInvertedIndex::TotalPostings() const {
   size_t total = 0;
   for (const auto& [gram, rows] : postings_) total += rows.size();
   return total;
+}
+
+void NgramInvertedIndex::ForEachGram(
+    const std::function<void(std::string_view, const std::vector<uint32_t>&)>&
+        fn) const {
+  for (const auto& [gram, rows] : postings_) fn(gram, rows);
 }
 
 }  // namespace tj

@@ -7,6 +7,7 @@
 #define TJ_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -25,8 +26,12 @@ class NgramInvertedIndex {
   /// Indexes every n-gram of sizes n0..nmax (inclusive) of every row.
   /// When `lowercase` is set, rows are ASCII-lowercased before indexing
   /// (queries must then be lowercased by the caller too).
+  ///
+  /// num_threads: 0 = hardware concurrency, 1 = serial. Postings are built
+  /// over contiguous row shards and merged in row order, so the index
+  /// content is identical for every thread count.
   static NgramInvertedIndex Build(const Column& column, size_t n0, size_t nmax,
-                                  bool lowercase);
+                                  bool lowercase, int num_threads = 1);
 
   /// Rows containing the n-gram, ascending and deduplicated; empty list for
   /// unseen n-grams.
@@ -41,6 +46,12 @@ class NgramInvertedIndex {
 
   /// Total posting entries (index size diagnostic).
   size_t TotalPostings() const;
+
+  /// Visits every (gram, posting list) pair in unspecified order. Posting
+  /// lists are ascending and deduplicated, as in Lookup.
+  void ForEachGram(
+      const std::function<void(std::string_view, const std::vector<uint32_t>&)>&
+          fn) const;
 
  private:
   using Map = std::unordered_map<std::string, std::vector<uint32_t>,

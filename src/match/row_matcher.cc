@@ -1,6 +1,7 @@
 #include "match/row_matcher.h"
 
 #include <string_view>
+#include <unordered_map>
 
 #include "common/strings.h"
 #include "text/ngram.h"
@@ -23,12 +24,35 @@ double Rscore(const NgramInvertedIndex& source_index,
 RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
                                  const RowMatchOptions& options) {
   RowMatchResult result;
-  const NgramInvertedIndex source_index = NgramInvertedIndex::Build(
-      source, options.n0, options.nmax, options.lowercase);
-  const NgramInvertedIndex target_index = NgramInvertedIndex::Build(
-      target, options.n0, options.nmax, options.lowercase);
+  const NgramInvertedIndex source_index =
+      NgramInvertedIndex::Build(source, options.n0, options.nmax,
+                                options.lowercase, options.num_threads);
+  const NgramInvertedIndex target_index =
+      NgramInvertedIndex::Build(target, options.n0, options.nmax,
+                                options.lowercase, options.num_threads);
+
+  // Precomputed Rscore per distinct source-side gram: one target-index probe
+  // per distinct gram, instead of two index probes per gram occurrence in
+  // the per-row scans below. Every gram of every source row is in the
+  // source index by construction, and grams with a zero target-side IRF
+  // score 0 (they can never become representatives), so only positive
+  // scores are stored and a lookup miss below means score 0. Keys are views
+  // into source_index's own gram strings (stable for this scope), and the
+  // score is the same IRF product Rscore() computes — not an algebraically
+  // equivalent division, which could differ in the last ulp and flip the
+  // first-occurrence tie-break.
+  std::unordered_map<std::string_view, double, StringHash, StringEq> rscore;
+  rscore.reserve(source_index.num_grams());
+  source_index.ForEachGram(
+      [&](std::string_view gram, const std::vector<uint32_t>& rows) {
+        const double target_irf = InverseRowFrequency(target_index, gram);
+        if (target_irf == 0.0) return;
+        rscore.emplace(gram, (1.0 / static_cast<double>(rows.size())) *
+                                 target_irf);
+      });
 
   PairSet emitted;
+  bool budget_exhausted = false;
   for (uint32_t row = 0; row < source.size(); ++row) {
     std::string text = options.lowercase ? ToLowerAscii(source.Get(row))
                                          : std::string(source.Get(row));
@@ -39,9 +63,9 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
       std::string_view rep;
       double best = 0.0;
       ForEachNgram(text, n, [&](std::string_view gram) {
-        const double score = Rscore(source_index, target_index, gram);
-        if (score > best) {
-          best = score;
+        const auto it = rscore.find(gram);
+        if (it != rscore.end() && it->second > best) {
+          best = it->second;
           rep = gram;
         }
       });
@@ -49,11 +73,14 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
       for (uint32_t target_row : target_index.Lookup(rep)) {
         if (options.max_pairs != 0 &&
             emitted.size() >= options.max_pairs) {
+          budget_exhausted = true;
           break;
         }
         if (emitted.Add(RowPair{row, target_row})) any = true;
       }
+      if (budget_exhausted) break;
     }
+    if (budget_exhausted) break;
     if (!any) ++result.unmatched_source_rows;
   }
   result.pairs = emitted.pairs();

@@ -26,8 +26,14 @@ struct RowMatchOptions {
   /// capitalization in its examples).
   bool lowercase = true;
   /// Safety valve on the number of emitted pairs (0 = unlimited). The open
-  /// data benchmark produces ~100x more candidate pairs than rows.
+  /// data benchmark produces ~100x more candidate pairs than rows. Once the
+  /// budget is exhausted the scan stops entirely; rows never scanned are not
+  /// counted as unmatched.
   size_t max_pairs = 0;
+  /// Worker threads for building the two n-gram inverted indexes (0 =
+  /// hardware concurrency, 1 = serial). Index content and the emitted pairs
+  /// are identical across thread counts.
+  int num_threads = 1;
 };
 
 /// IRF(t, c) = 1 / (number of rows of column c containing t); 0 when t does

@@ -1,0 +1,222 @@
+// Determinism tests for the parallel discovery pipeline: every phase must
+// produce results bit-identical to the serial reference path for any thread
+// count (the subsystem's merge-in-row-order contract).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/discovery.h"
+#include "core/example.h"
+#include "datagen/synth.h"
+#include "index/inverted_index.h"
+#include "match/row_matcher.h"
+
+namespace tj {
+namespace {
+
+std::vector<ExamplePair> SynthRows(size_t rows, uint64_t seed) {
+  const SynthDataset ds = GenerateSynth(SynthN(rows, seed));
+  return MakeExamplePairs(ds.pair.SourceColumn(), ds.pair.TargetColumn(),
+                          ds.pair.golden.pairs());
+}
+
+void ExpectIdenticalCoverage(const CoverageIndex& a, const CoverageIndex& b) {
+  ASSERT_EQ(a.num_transformations(), b.num_transformations());
+  ASSERT_EQ(a.TotalPairs(), b.TotalPairs());
+  for (TransformationId t = 0; t < a.num_transformations(); ++t) {
+    ASSERT_EQ(a.Count(t), b.Count(t)) << "transformation " << t;
+    const auto rows_a = a.RowsOf(t);
+    const auto rows_b = b.RowsOf(t);
+    for (size_t i = 0; i < rows_a.size(); ++i) {
+      ASSERT_EQ(rows_a[i], rows_b[i]) << "transformation " << t << " pos " << i;
+    }
+  }
+}
+
+void ExpectIdenticalCounters(const DiscoveryStats& a,
+                             const DiscoveryStats& b) {
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.skeletons, b.skeletons);
+  EXPECT_EQ(a.placeholders, b.placeholders);
+  EXPECT_EQ(a.generated_transformations, b.generated_transformations);
+  EXPECT_EQ(a.unique_transformations, b.unique_transformations);
+  EXPECT_EQ(a.rows_capped, b.rows_capped);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.full_evaluations, b.full_evaluations);
+  EXPECT_EQ(a.unit_evals, b.unit_evals);
+  EXPECT_EQ(a.covering_pairs, b.covering_pairs);
+}
+
+TEST(ParallelCoverage, BitIdenticalCsrAcrossThreadCounts) {
+  const std::vector<ExamplePair> rows = SynthRows(48, 11);
+  DiscoveryOptions serial;
+  serial.num_threads = 1;
+  const DiscoveryResult base = DiscoverTransformations(rows, serial);
+  ASSERT_GT(base.store.size(), 0u);
+
+  for (int threads : {2, 3, 8}) {
+    DiscoveryOptions options;
+    options.num_threads = threads;
+    DiscoveryStats stats;
+    const CoverageIndex index =
+        ComputeCoverage(base.store, base.units, rows, options, &stats);
+    ExpectIdenticalCoverage(base.coverage, index);
+    EXPECT_EQ(stats.cache_hits, base.stats.cache_hits) << threads;
+    EXPECT_EQ(stats.full_evaluations, base.stats.full_evaluations) << threads;
+    EXPECT_EQ(stats.unit_evals, base.stats.unit_evals) << threads;
+    EXPECT_EQ(stats.covering_pairs, base.stats.covering_pairs) << threads;
+  }
+}
+
+TEST(ParallelCoverage, NegCacheAblationAlsoIdentical) {
+  const std::vector<ExamplePair> rows = SynthRows(24, 7);
+  DiscoveryOptions serial;
+  serial.num_threads = 1;
+  serial.enable_neg_cache = false;
+  const DiscoveryResult base = DiscoverTransformations(rows, serial);
+
+  DiscoveryOptions parallel = serial;
+  parallel.num_threads = 8;
+  DiscoveryStats stats;
+  const CoverageIndex index =
+      ComputeCoverage(base.store, base.units, rows, parallel, &stats);
+  ExpectIdenticalCoverage(base.coverage, index);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.unit_evals, base.stats.unit_evals);
+}
+
+TEST(ParallelDiscovery, EndToEndIdenticalAcrossThreadCounts) {
+  const std::vector<ExamplePair> rows = SynthRows(48, 42);
+  DiscoveryOptions serial;
+  serial.num_threads = 1;
+  const DiscoveryResult base = DiscoverTransformations(rows, serial);
+  ASSERT_GT(base.store.size(), 0u);
+  ASSERT_FALSE(base.cover.selected.empty());
+
+  for (int threads : {2, 8}) {
+    DiscoveryOptions options;
+    options.num_threads = threads;
+    const DiscoveryResult result = DiscoverTransformations(rows, options);
+
+    // Stores: same transformations with the same ids (same intern order).
+    ASSERT_EQ(result.units.size(), base.units.size()) << threads;
+    ASSERT_EQ(result.store.size(), base.store.size()) << threads;
+    for (TransformationId t = 0; t < base.store.size(); ++t) {
+      ASSERT_EQ(result.store.Get(t).ToString(result.units),
+                base.store.Get(t).ToString(base.units))
+          << "transformation " << t << " with " << threads << " threads";
+    }
+
+    ExpectIdenticalCoverage(base.coverage, result.coverage);
+    ExpectIdenticalCounters(base.stats, result.stats);
+
+    // Solutions: identical top-k and greedy covering set.
+    ASSERT_EQ(result.top.size(), base.top.size());
+    for (size_t i = 0; i < base.top.size(); ++i) {
+      EXPECT_EQ(result.top[i].id, base.top[i].id);
+      EXPECT_EQ(result.top[i].coverage, base.top[i].coverage);
+    }
+    ASSERT_EQ(result.cover.selected.size(), base.cover.selected.size());
+    for (size_t i = 0; i < base.cover.selected.size(); ++i) {
+      EXPECT_EQ(result.cover.selected[i].id, base.cover.selected[i].id);
+      EXPECT_EQ(result.cover.selected[i].coverage,
+                base.cover.selected[i].coverage);
+    }
+    EXPECT_EQ(result.cover.covered_rows, base.cover.covered_rows);
+  }
+}
+
+TEST(ParallelDiscovery, NoDedupAblationIdentical) {
+  // With dedup disabled the store keeps every generated duplicate; the
+  // shard merge must replay them all in row order.
+  const std::vector<ExamplePair> rows = SynthRows(12, 3);
+  DiscoveryOptions serial;
+  serial.num_threads = 1;
+  serial.enable_dedup = false;
+  const DiscoveryResult base = DiscoverTransformations(rows, serial);
+
+  DiscoveryOptions parallel = serial;
+  parallel.num_threads = 4;
+  const DiscoveryResult result = DiscoverTransformations(rows, parallel);
+  ASSERT_EQ(result.store.size(), base.store.size());
+  EXPECT_EQ(result.stats.generated_transformations,
+            base.stats.generated_transformations);
+  EXPECT_EQ(result.stats.unique_transformations,
+            base.stats.unique_transformations);
+  ExpectIdenticalCoverage(base.coverage, result.coverage);
+}
+
+TEST(ParallelDiscovery, ZeroMeansHardwareConcurrency) {
+  const std::vector<ExamplePair> rows = SynthRows(16, 5);
+  DiscoveryOptions serial;
+  serial.num_threads = 1;
+  DiscoveryOptions hw;
+  hw.num_threads = 0;
+  const DiscoveryResult a = DiscoverTransformations(rows, serial);
+  const DiscoveryResult b = DiscoverTransformations(rows, hw);
+  ASSERT_EQ(a.store.size(), b.store.size());
+  ExpectIdenticalCoverage(a.coverage, b.coverage);
+  ExpectIdenticalCounters(a.stats, b.stats);
+}
+
+TEST(ParallelIndexBuild, IdenticalPostingsAcrossThreadCounts) {
+  const SynthDataset ds = GenerateSynth(SynthN(60, 19));
+  const Column& column = ds.pair.SourceColumn();
+  const NgramInvertedIndex serial =
+      NgramInvertedIndex::Build(column, 4, 20, true, 1);
+
+  for (int threads : {2, 8}) {
+    const NgramInvertedIndex parallel =
+        NgramInvertedIndex::Build(column, 4, 20, true, threads);
+    ASSERT_EQ(parallel.num_rows(), serial.num_rows());
+    ASSERT_EQ(parallel.num_grams(), serial.num_grams()) << threads;
+    ASSERT_EQ(parallel.TotalPostings(), serial.TotalPostings()) << threads;
+    serial.ForEachGram(
+        [&](std::string_view gram, const std::vector<uint32_t>& rows) {
+          const std::vector<uint32_t>& other = parallel.Lookup(gram);
+          ASSERT_EQ(other, rows) << "gram '" << std::string(gram) << "'";
+        });
+  }
+}
+
+TEST(ParallelRowMatch, PairsIdenticalAcrossThreadCounts) {
+  const SynthDataset ds = GenerateSynth(SynthN(40, 23));
+  RowMatchOptions serial;
+  serial.num_threads = 1;
+  const RowMatchResult base = FindJoinablePairs(
+      ds.pair.SourceColumn(), ds.pair.TargetColumn(), serial);
+
+  RowMatchOptions parallel;
+  parallel.num_threads = 8;
+  const RowMatchResult result = FindJoinablePairs(
+      ds.pair.SourceColumn(), ds.pair.TargetColumn(), parallel);
+  ASSERT_EQ(result.pairs.size(), base.pairs.size());
+  for (size_t i = 0; i < base.pairs.size(); ++i) {
+    EXPECT_EQ(result.pairs[i], base.pairs[i]);
+  }
+  EXPECT_EQ(result.unmatched_source_rows, base.unmatched_source_rows);
+}
+
+TEST(RowMatcher, MaxPairsEmitsPrefixOfUnlimitedScan) {
+  // The capped scan must stop early but emit exactly the first max_pairs
+  // pairs the unlimited scan would have produced (same discovery order).
+  const SynthDataset ds = GenerateSynth(SynthN(30, 9));
+  RowMatchOptions unlimited;
+  const RowMatchResult full = FindJoinablePairs(
+      ds.pair.SourceColumn(), ds.pair.TargetColumn(), unlimited);
+  ASSERT_GT(full.pairs.size(), 4u);
+
+  RowMatchOptions capped;
+  capped.max_pairs = 4;
+  const RowMatchResult result = FindJoinablePairs(
+      ds.pair.SourceColumn(), ds.pair.TargetColumn(), capped);
+  ASSERT_EQ(result.pairs.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.pairs[i], full.pairs[i]) << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tj
