@@ -1,0 +1,161 @@
+// Corpus-scale discovery benchmark: sketch-pruned CorpusDiscovery vs. the
+// brute-force all-pairs baseline on a generated synthetic corpus. Reports
+// the pruning ratio, end-to-end wall time, and evaluated-pairs throughput,
+// and (with --json PATH, or BENCH_corpus.json by default under --json)
+// emits a machine-readable record so CI can track the perf trajectory.
+//
+// Environment: TJ_BENCH_SCALE scales the corpus size (1.0 = 10 joinable
+// pairs + 4 noise tables at 40 rows); TJ_NUM_THREADS sets the pair-level
+// thread count (0 = all cores).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "benchlib/report.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "corpus/catalog.h"
+#include "corpus/corpus_discovery.h"
+#include "datagen/corpus.h"
+
+namespace {
+
+struct RunOutcome {
+  size_t evaluated_pairs = 0;
+  size_t total_pairs = 0;
+  double pruning_ratio = 0.0;
+  double seconds = 0.0;
+  size_t joined_rows = 0;
+  size_t pairs_with_rules = 0;
+};
+
+RunOutcome Run(const tj::SynthCorpus& corpus,
+               const tj::CorpusDiscoveryOptions& options) {
+  tj::TableCatalog catalog;
+  for (const tj::Table& table : corpus.tables) {
+    auto added = catalog.AddTable(table);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  tj::Stopwatch watch;
+  const tj::CorpusDiscoveryResult result =
+      tj::DiscoverJoinableColumns(&catalog, options);
+  RunOutcome outcome;
+  outcome.seconds = watch.ElapsedSeconds();
+  outcome.evaluated_pairs = result.results.size();
+  outcome.total_pairs = result.total_column_pairs;
+  outcome.pruning_ratio = result.PruningRatio();
+  for (const tj::CorpusPairResult& pair : result.results) {
+    outcome.joined_rows += pair.joined_rows;
+    if (!pair.transformations.empty()) ++outcome.pairs_with_rules;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tj;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const char* scale_env = std::getenv("TJ_BENCH_SCALE");
+  const double scale = scale_env != nullptr ? std::atof(scale_env) : 1.0;
+  const char* threads_env = std::getenv("TJ_NUM_THREADS");
+  const int num_threads = threads_env != nullptr ? std::atoi(threads_env) : 1;
+
+  SynthCorpusOptions corpus_options;
+  corpus_options.num_joinable_pairs =
+      static_cast<size_t>(10 * (scale > 0 ? scale : 1.0));
+  if (corpus_options.num_joinable_pairs == 0) {
+    corpus_options.num_joinable_pairs = 1;
+  }
+  corpus_options.num_noise_tables =
+      corpus_options.num_joinable_pairs * 2 / 5;
+  corpus_options.rows = 40;
+  corpus_options.seed = 42;
+  const SynthCorpus corpus = GenerateSynthCorpus(corpus_options);
+
+  CorpusDiscoveryOptions pruned_options;
+  pruned_options.num_threads = num_threads;
+
+  CorpusDiscoveryOptions brute_options = pruned_options;
+  brute_options.pruner.min_containment = 0.0;
+  brute_options.pruner.require_charset_overlap = false;
+  brute_options.pruner.min_rows = 0;
+
+  std::printf("corpus: %zu tables (%zu joinable pairs), %zu rows each, "
+              "threads=%d\n",
+              corpus.tables.size(), corpus.golden.size(),
+              corpus_options.rows, ResolveNumThreads(num_threads));
+
+  const RunOutcome pruned = Run(corpus, pruned_options);
+  const RunOutcome brute = Run(corpus, brute_options);
+
+  TablePrinter printer({"mode", "pairs eval", "pruned %", "seconds",
+                        "pairs/s", "joined rows", "pairs w/ rules"});
+  auto add_row = [&](const char* mode, const RunOutcome& o) {
+    printer.AddRow({mode, StrPrintf("%zu", o.evaluated_pairs),
+                    FormatDouble(100.0 * o.pruning_ratio, 1),
+                    FormatSeconds(o.seconds),
+                    FormatDouble(o.seconds > 0
+                                     ? static_cast<double>(o.evaluated_pairs) /
+                                           o.seconds
+                                     : 0.0,
+                                 1),
+                    StrPrintf("%zu", o.joined_rows),
+                    StrPrintf("%zu", o.pairs_with_rules)});
+  };
+  add_row("sketch-pruned", pruned);
+  add_row("brute-force", brute);
+  printer.Print();
+  std::printf("speedup vs brute force: %.2fx\n",
+              pruned.seconds > 0 ? brute.seconds / pruned.seconds : 0.0);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"bench_corpus\",\n"
+        "  \"tables\": %zu,\n"
+        "  \"column_pairs\": %zu,\n"
+        "  \"threads\": %d,\n"
+        "  \"pruning_ratio\": %.6f,\n"
+        "  \"evaluated_pairs\": %zu,\n"
+        "  \"pruned_seconds\": %.6f,\n"
+        "  \"pairs_per_second\": %.3f,\n"
+        "  \"bruteforce_seconds\": %.6f,\n"
+        "  \"bruteforce_pairs\": %zu,\n"
+        "  \"speedup_vs_bruteforce\": %.3f\n"
+        "}\n",
+        corpus.tables.size(), pruned.total_pairs,
+        ResolveNumThreads(num_threads), pruned.pruning_ratio,
+        pruned.evaluated_pairs, pruned.seconds,
+        pruned.seconds > 0
+            ? static_cast<double>(pruned.evaluated_pairs) / pruned.seconds
+            : 0.0,
+        brute.seconds, brute.evaluated_pairs,
+        pruned.seconds > 0 ? brute.seconds / pruned.seconds : 0.0);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,293 @@
+// corpus_discovery_tool: repository-scale joinable-column discovery over a
+// directory of CSV tables.
+//
+//   corpus_discovery_tool <csv-dir> [--threads N] [--min-containment F]
+//                         [--max-candidates N] [--support F] [--top K]
+//                         [--signatures cache.tj] [--out results.csv]
+//   corpus_discovery_tool --gen <dir> [--tables N] [--rows N] [--seed S]
+//   corpus_discovery_tool --selftest
+//
+// Default mode registers every *.csv file of <csv-dir> in a TableCatalog,
+// sketches the columns, prunes the column-pair space with the MinHash
+// signatures, runs the full per-pair pipeline over the ranked shortlist on
+// one shared thread pool, and prints the ranked results. With --signatures,
+// the sketch cache is reloaded from / persisted to that file, so repeated
+// runs over a large repository skip the sketching pass. --gen writes a
+// synthetic demo corpus (joinable pairs + noise tables) to a directory;
+// --selftest generates a tiny corpus in memory, runs end-to-end on two
+// threads, and exits non-zero unless every golden pair is found (used as a
+// ctest smoke test).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "benchlib/report.h"
+#include "common/strings.h"
+#include "corpus/catalog.h"
+#include "corpus/corpus_discovery.h"
+#include "datagen/corpus.h"
+#include "table/csv.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <csv-dir> [--threads N] [--min-containment F]\n"
+      "          [--max-candidates N] [--support F] [--top K]\n"
+      "          [--signatures cache.tj] [--out results.csv]\n"
+      "       %s --gen <dir> [--tables N] [--rows N] [--seed S]\n"
+      "       %s --selftest\n"
+      "  --threads N: pair-level worker threads (0 = all cores, default)\n"
+      "  --min-containment F: sketch containment pruning floor "
+      "(default 0.05; 0 = brute force)\n"
+      "  --signatures F: load/save the column sketch cache\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+int GenerateDemoCorpus(const std::string& dir, size_t tables, size_t rows,
+                       uint64_t seed) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  tj::SynthCorpusOptions options;
+  // `tables` counts total tables: 2 per joinable pair plus ~20%% noise.
+  options.num_joinable_pairs = tables >= 4 ? tables * 2 / 5 : 1;
+  options.num_noise_tables = tables - 2 * options.num_joinable_pairs;
+  options.rows = rows;
+  options.seed = seed;
+  const tj::SynthCorpus corpus = tj::GenerateSynthCorpus(options);
+  for (const tj::Table& table : corpus.tables) {
+    const std::string path =
+        (fs::path(dir) / (table.name() + ".csv")).string();
+    const tj::Status written = tj::WriteCsvFile(table, path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %zu tables (%zu joinable pairs, %zu noise) to %s\n",
+              corpus.tables.size(), options.num_joinable_pairs,
+              options.num_noise_tables, dir.c_str());
+  for (const auto& golden : corpus.golden) {
+    std::printf("  joinable: %s.csv <-> %s.csv\n",
+                corpus.tables[golden.source_table].name().c_str(),
+                corpus.tables[golden.target_table].name().c_str());
+  }
+  return 0;
+}
+
+int SelfTest() {
+  tj::SynthCorpusOptions corpus_options;
+  corpus_options.num_joinable_pairs = 4;
+  corpus_options.num_noise_tables = 2;
+  corpus_options.rows = 30;
+  corpus_options.seed = 5;
+  const tj::SynthCorpus corpus = tj::GenerateSynthCorpus(corpus_options);
+
+  tj::TableCatalog catalog;
+  for (const tj::Table& table : corpus.tables) {
+    auto added = catalog.AddTable(table);
+    if (!added.ok()) {
+      std::fprintf(stderr, "selftest: %s\n", added.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  tj::CorpusDiscoveryOptions options;
+  options.num_threads = 2;
+  const tj::CorpusDiscoveryResult result =
+      tj::DiscoverJoinableColumns(&catalog, options);
+  std::printf("%s", result.Describe(catalog).c_str());
+
+  if (result.PruningRatio() < 0.5) {
+    std::fprintf(stderr, "selftest: expected >= 50%% pruning, got %.1f%%\n",
+                 100.0 * result.PruningRatio());
+    return 1;
+  }
+  for (const auto& golden : corpus.golden) {
+    bool found = false;
+    for (const tj::CorpusPairResult& pair : result.results) {
+      const bool matches =
+          (pair.source.table == golden.source_table &&
+           pair.target.table == golden.target_table) ||
+          (pair.source.table == golden.target_table &&
+           pair.target.table == golden.source_table);
+      if (matches && pair.joined_rows > 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "selftest: golden pair %s <-> %s not joined\n",
+                   corpus.tables[golden.source_table].name().c_str(),
+                   corpus.tables[golden.target_table].name().c_str());
+      return 1;
+    }
+  }
+  std::printf("selftest: OK (%zu pairs evaluated, %.1f%% pruned)\n",
+              result.results.size(), 100.0 * result.PruningRatio());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tj;
+  if (argc < 2) return Usage(argv[0]);
+
+  if (std::strcmp(argv[1], "--selftest") == 0) return SelfTest();
+
+  if (std::strcmp(argv[1], "--gen") == 0) {
+    if (argc < 3) return Usage(argv[0]);
+    const std::string dir = argv[2];
+    size_t tables = 10;
+    size_t rows = 40;
+    uint64_t seed = 1;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--tables") == 0 && i + 1 < argc) {
+        tables = static_cast<size_t>(std::atol(argv[++i]));
+      } else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc) {
+        rows = static_cast<size_t>(std::atol(argv[++i]));
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      } else {
+        return Usage(argv[0]);
+      }
+    }
+    if (tables < 2 || rows == 0) return Usage(argv[0]);
+    return GenerateDemoCorpus(dir, tables, rows, seed);
+  }
+
+  const std::string dir = argv[1];
+  CorpusDiscoveryOptions options;
+  options.num_threads = 0;  // all cores
+  size_t top = 20;
+  std::string signatures_path;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-containment") == 0 &&
+               i + 1 < argc) {
+      options.pruner.min_containment = std::atof(argv[++i]);
+      if (options.pruner.min_containment <= 0.0) {
+        options.pruner.require_charset_overlap = false;  // true brute force
+      }
+    } else if (std::strcmp(argv[i], "--max-candidates") == 0 &&
+               i + 1 < argc) {
+      options.pruner.max_candidates =
+          static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--support") == 0 && i + 1 < argc) {
+      options.join.min_join_support = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--signatures") == 0 && i + 1 < argc) {
+      signatures_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  TableCatalog catalog;
+  const Status loaded_dir = catalog.AddCsvDirectory(dir);
+  if (!loaded_dir.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", dir.c_str(),
+                 loaded_dir.ToString().c_str());
+    return 1;
+  }
+  if (catalog.num_tables() < 2) {
+    std::fprintf(stderr, "%s holds %zu table(s); need at least 2\n",
+                 dir.c_str(), catalog.num_tables());
+    return 1;
+  }
+  std::printf("catalog: %zu tables, %zu columns\n", catalog.num_tables(),
+              catalog.num_columns());
+
+  if (!signatures_path.empty() &&
+      std::filesystem::exists(signatures_path)) {
+    const Status loaded = catalog.LoadSignaturesFromFile(signatures_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "ignoring signature cache %s: %s\n",
+                   signatures_path.c_str(), loaded.ToString().c_str());
+    } else {
+      std::printf("loaded signature cache from %s\n",
+                  signatures_path.c_str());
+    }
+  }
+
+  const CorpusDiscoveryResult result =
+      DiscoverJoinableColumns(&catalog, options);
+
+  if (!signatures_path.empty()) {
+    const Status saved = catalog.SaveSignaturesToFile(signatures_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error saving signature cache: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
+
+  std::printf("column pairs: %zu total, %zu pruned (%.1f%%), %zu evaluated\n",
+              result.total_column_pairs, result.pruned_pairs,
+              100.0 * result.PruningRatio(), result.results.size());
+  TablePrinter printer({"rank", "source", "target", "score", "pairs",
+                        "joined", "coverage", "best transformation"});
+  const size_t n = std::min(top, result.results.size());
+  for (size_t i = 0; i < n; ++i) {
+    const CorpusPairResult& r = result.results[i];
+    printer.AddRow(
+        {StrPrintf("%zu", i + 1),
+         catalog.table(r.source.table).name() + "." +
+             catalog.column(r.source).name(),
+         catalog.table(r.target.table).name() + "." +
+             catalog.column(r.target).name(),
+         FormatDouble(r.candidate.score, 3), StrPrintf("%zu", r.learning_pairs),
+         StrPrintf("%zu", r.joined_rows), FormatDouble(r.top_coverage, 2),
+         r.transformations.empty() ? "-" : r.transformations.front()});
+  }
+  printer.Print();
+
+  if (!out_path.empty()) {
+    Table out("corpus_results");
+    Column source("source"), target("target"), score("score"),
+        pairs("learning_pairs"), joined("joined_rows"), cov("top_coverage"),
+        rules("transformations");
+    for (const CorpusPairResult& r : result.results) {
+      source.Append(catalog.table(r.source.table).name() + "." +
+                    catalog.column(r.source).name());
+      target.Append(catalog.table(r.target.table).name() + "." +
+                    catalog.column(r.target).name());
+      score.Append(StrPrintf("%.6f", r.candidate.score));
+      pairs.Append(StrPrintf("%zu", r.learning_pairs));
+      joined.Append(StrPrintf("%zu", r.joined_rows));
+      cov.Append(StrPrintf("%.4f", r.top_coverage));
+      rules.Append(JoinStrings(r.transformations, " ; "));
+    }
+    for (Column* c : {&source, &target, &score, &pairs, &joined, &cov,
+                      &rules}) {
+      if (!out.AddColumn(std::move(*c)).ok()) {
+        std::fprintf(stderr, "internal error assembling output\n");
+        return 1;
+      }
+    }
+    const Status written = WriteCsvFile(out, out_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", out_path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("results written to %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -46,7 +46,9 @@ struct SuiteOptions {
   /// Worker threads for discovery and row matching in every dataset
   /// (0 = hardware concurrency, 1 = the paper's serial setting; benches
   /// read TJ_NUM_THREADS from the environment). Results are identical
-  /// across thread counts — only wall time changes.
+  /// across thread counts — only wall time changes; DiscoveryStats time_*
+  /// fields stay wall clock per phase (cpu_* carries worker seconds), and
+  /// a parallel TransformJoin shares one pool across its phases.
   int num_threads = 1;
   bool include_webtables = true;
   bool include_spreadsheet = true;

@@ -1,6 +1,24 @@
 #include "common/thread_pool.h"
 
 namespace tj {
+namespace {
+
+/// Set while the thread runs chunks of a ParallelFor job; consulted by
+/// InParallelFor() and by the nested-call inline path.
+thread_local bool tls_in_parallel_for = false;
+
+/// RAII flag flip, exception-safe across chunk bodies that throw.
+struct ScopedInParallelFor {
+  ScopedInParallelFor() : previous(tls_in_parallel_for) {
+    tls_in_parallel_for = true;
+  }
+  ~ScopedInParallelFor() { tls_in_parallel_for = previous; }
+  const bool previous;
+};
+
+std::atomic<uint64_t> g_pools_created{0};
+
+}  // namespace
 
 int ResolveNumThreads(int num_threads) {
   if (num_threads > 0) return num_threads;
@@ -9,7 +27,14 @@ int ResolveNumThreads(int num_threads) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+bool InParallelFor() { return tls_in_parallel_for; }
+
+uint64_t ThreadPool::TotalCreated() {
+  return g_pools_created.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(int num_threads) {
+  g_pools_created.fetch_add(1, std::memory_order_relaxed);
   const int resolved = ResolveNumThreads(num_threads);
   workers_.reserve(static_cast<size_t>(resolved - 1));
   try {
@@ -41,6 +66,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::RunChunks(int worker, const ChunkFn& fn, size_t total,
                            size_t num_chunks) {
+  const ScopedInParallelFor in_chunk;
   for (;;) {
     // Once any chunk threw the job's result is discarded anyway; claim the
     // remaining chunks without running them so ParallelFor rethrows fast.
@@ -100,8 +126,24 @@ void ThreadPool::ParallelFor(size_t total, size_t num_chunks,
   if (num_chunks == 0) num_chunks = 1;
   if (num_chunks > total) num_chunks = total;
 
+  if (tls_in_parallel_for) {
+    // Nested call from inside a chunk: the pool's job state belongs to the
+    // outer fan-out, so run everything inline on this thread as worker 0.
+    // Same partition as a real dispatch — determinism is unaffected.
+    const ScopedInParallelFor in_chunk;
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      fn(0, chunk, chunk * total / num_chunks,
+         (chunk + 1) * total / num_chunks);
+    }
+    return;
+  }
+
   if (workers_.empty() || num_chunks == 1) {
-    // Inline serial path: same partition, caller is worker 0.
+    // Inline serial path: same partition, caller is worker 0. The
+    // in-parallel-for flag is intentionally NOT set here — the pool's job
+    // state is untouched, so a ParallelFor issued from inside fn is a
+    // legitimate fresh dispatch (a one-chunk pair fan-out can still hand
+    // its inner phases full pool parallelism).
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
       fn(0, chunk, chunk * total / num_chunks,
          (chunk + 1) * total / num_chunks);

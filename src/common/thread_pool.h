@@ -30,6 +30,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -38,6 +39,12 @@ namespace tj {
 /// Resolves a thread-count knob: 0 means std::thread::hardware_concurrency
 /// (at least 1); negative values clamp to 1.
 int ResolveNumThreads(int num_threads);
+
+/// True while the calling thread is executing a ParallelFor chunk (of any
+/// pool). Parallel phases check this to fall back to their serial reference
+/// paths instead of nesting a fan-out inside a fan-out — e.g. a per-pair
+/// discovery running inside the corpus driver's pair-level ParallelFor.
+bool InParallelFor();
 
 /// Fixed-size pool of workers driving chunked parallel-for jobs. The calling
 /// thread participates as worker 0, so a pool of size N spawns N - 1
@@ -62,8 +69,19 @@ class ThreadPool {
   /// (balanced to within one element; num_chunks is clamped to [1, total]).
   /// Blocks until every chunk finished; rethrows the first exception thrown
   /// by a chunk. Reusable: sequential ParallelFor calls share the workers.
-  /// Not reentrant — do not call ParallelFor from inside a chunk.
+  ///
+  /// Nesting: a ParallelFor issued from inside a chunk (InParallelFor() is
+  /// true) does not touch the pool's job state — it runs every chunk inline,
+  /// sequentially, as worker 0 on the calling thread. The partition is the
+  /// same, so nested callers keep the determinism contract; they just get no
+  /// extra parallelism. Phases that want to skip their merge overhead in
+  /// that situation should check InParallelFor() and take their serial path.
   void ParallelFor(size_t total, size_t num_chunks, const ChunkFn& fn);
+
+  /// Number of ThreadPool instances constructed since process start.
+  /// Diagnostic for the shared-pool contract (e.g. "a corpus run constructs
+  /// exactly one pool"); tests compare deltas around a call.
+  static uint64_t TotalCreated();
 
  private:
   void WorkerLoop(int worker);
@@ -90,6 +108,29 @@ class ThreadPool {
   size_t finished_chunks_ = 0;       // guarded by mu_
   int active_workers_ = 0;           // guarded by mu_
   std::exception_ptr first_error_;   // guarded by mu_
+};
+
+/// Borrows an externally-owned pool when one is provided, otherwise owns a
+/// freshly constructed pool of `num_threads` workers. Lets every parallel
+/// phase accept an optional shared pool (DiscoveryOptions::pool,
+/// RowMatchOptions::pool) without duplicating construction logic.
+class PoolRef {
+ public:
+  PoolRef(ThreadPool* shared, int num_threads) : pool_(shared) {
+    if (pool_ == nullptr) {
+      owned_.emplace(num_threads);
+      pool_ = &*owned_;
+    }
+  }
+
+  PoolRef(const PoolRef&) = delete;
+  PoolRef& operator=(const PoolRef&) = delete;
+
+  ThreadPool& get() { return *pool_; }
+
+ private:
+  ThreadPool* pool_;
+  std::optional<ThreadPool> owned_;
 };
 
 }  // namespace tj

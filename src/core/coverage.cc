@@ -98,6 +98,7 @@ void EvaluateRowRange(const TransformationStore& store,
                       RowUnitCache* cache,
                       std::vector<CoveringPair>* covering,
                       DiscoveryStats* stats) {
+  ScopedTimer cpu_timer(&stats->cpu_apply);
   const size_t num_t = store.size();
   for (size_t row = begin; row < end; ++row) {
     const std::string_view src = rows[row].source;
@@ -167,9 +168,11 @@ CoverageIndex ComputeCoverage(const TransformationStore& store,
   // is evaluated at most once per row. Covering pairs are collected and
   // counting-sorted into CSR by transformation afterwards.
   std::vector<CoveringPair> covering;
-  const int num_threads = ResolveNumThreads(options.num_threads);
+  const int num_threads = options.pool != nullptr
+                              ? options.pool->size()
+                              : ResolveNumThreads(options.num_threads);
 
-  if (num_threads == 1 || rows.size() < 2) {
+  if (num_threads == 1 || rows.size() < 2 || InParallelFor()) {
     RowUnitCache cache(interner.size(), options.enable_neg_cache);
     EvaluateRowRange(store, interner, rows, 0, rows.size(), options, &cache,
                      &covering, stats);
@@ -179,9 +182,12 @@ CoverageIndex ComputeCoverage(const TransformationStore& store,
     // the serial path and the CSR index comes out bit-identical. The unit
     // cache is worker-scoped (it is large) and reset per row, so dynamic
     // chunk-to-worker assignment cannot change any result or counter.
-    // Never more workers (threads + per-worker caches) than rows.
-    ThreadPool pool(static_cast<int>(std::min<size_t>(
-        static_cast<size_t>(num_threads), rows.size())));
+    // When no shared pool is supplied, never spawn more workers (threads +
+    // per-worker caches) than rows.
+    PoolRef pool_ref(options.pool,
+                     static_cast<int>(std::min<size_t>(
+                         static_cast<size_t>(num_threads), rows.size())));
+    ThreadPool& pool = pool_ref.get();
     const size_t num_chunks =
         std::min(rows.size(), static_cast<size_t>(pool.size()) * 4);
     std::vector<std::unique_ptr<RowUnitCache>> caches(
@@ -208,8 +214,9 @@ CoverageIndex ComputeCoverage(const TransformationStore& store,
       covering.insert(covering.end(), chunk.begin(), chunk.end());
     }
     // Full element-wise merge so counters added to EvaluateRowRange later
-    // keep aggregating in parallel runs too; worker time fields are zero
-    // (the phase is timed once by the enclosing ScopedTimer).
+    // keep aggregating in parallel runs too. Worker wall-time fields are
+    // zero (the phase is wall-timed once by the enclosing ScopedTimer);
+    // cpu_apply sums each worker's seconds inside EvaluateRowRange.
     for (const DiscoveryStats& ws : worker_stats) *stats += ws;
   }
 

@@ -32,8 +32,11 @@ struct GenerationShard {
 void GenerateInParallel(const std::vector<ExamplePair>& rows,
                         const DiscoveryOptions& options, int num_threads,
                         DiscoveryResult* result) {
-  ThreadPool pool(static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(num_threads), rows.size())));
+  // When no shared pool is supplied, never spawn more workers than rows.
+  PoolRef pool_ref(options.pool,
+                   static_cast<int>(std::min<size_t>(
+                       static_cast<size_t>(num_threads), rows.size())));
+  ThreadPool& pool = pool_ref.get();
   // Over-decompose so the ticket scheduler can balance rows with expensive
   // generation; the merge below is boundary-independent, so extra shards
   // only cost re-interning each shard's (deduplicated) store once.
@@ -52,7 +55,7 @@ void GenerateInParallel(const std::vector<ExamplePair>& rows,
                      }
                    });
 
-  ScopedTimer merge_timer(&result->stats.time_duplicate_removal);
+  ScopedTimer merge_timer(&result->stats.cpu_duplicate_removal);
   std::vector<UnitId> remap;
   std::vector<UnitId> mapped;
   for (GenerationShard& shard : shards) {
@@ -69,6 +72,23 @@ void GenerateInParallel(const std::vector<ExamplePair>& rows,
     }
     result->stats += shard.stats;
   }
+}
+
+/// Distributes the generation pass's measured wall clock across the three
+/// interleaved per-row phases, pro-rata to the worker seconds each phase
+/// accumulated. On one thread this reproduces the directly measured phase
+/// times (plus their share of untimed per-row overhead); with N workers it
+/// is the honest wall-clock attribution the fused pass allows.
+void ApportionGenerationWall(double wall, DiscoveryStats* stats) {
+  const double cpu = stats->cpu_placeholder_gen + stats->cpu_unit_extraction +
+                     stats->cpu_duplicate_removal;
+  if (cpu <= 0.0) {
+    stats->time_duplicate_removal += wall;
+    return;
+  }
+  stats->time_placeholder_gen += wall * (stats->cpu_placeholder_gen / cpu);
+  stats->time_unit_extraction += wall * (stats->cpu_unit_extraction / cpu);
+  stats->time_duplicate_removal += wall * (stats->cpu_duplicate_removal / cpu);
 }
 
 }  // namespace
@@ -113,15 +133,21 @@ DiscoveryResult DiscoverTransformations(const std::vector<ExamplePair>& rows,
   Stopwatch total;
 
   // Phases 1-3 (per row): placeholders, skeletons, units, generation.
-  const int num_threads = ResolveNumThreads(options.num_threads);
-  if (num_threads == 1 || rows.size() < 2) {
-    for (const ExamplePair& row : rows) {
-      GenerateTransformationsForRow(row.source, row.target, options,
-                                    &result.units, &result.store,
-                                    &result.stats);
+  const int num_threads = options.pool != nullptr
+                              ? options.pool->size()
+                              : ResolveNumThreads(options.num_threads);
+  {
+    Stopwatch generation_watch;
+    if (num_threads == 1 || rows.size() < 2 || InParallelFor()) {
+      for (const ExamplePair& row : rows) {
+        GenerateTransformationsForRow(row.source, row.target, options,
+                                      &result.units, &result.store,
+                                      &result.stats);
+      }
+    } else {
+      GenerateInParallel(rows, options, num_threads, &result);
     }
-  } else {
-    GenerateInParallel(rows, options, num_threads, &result);
+    ApportionGenerationWall(generation_watch.ElapsedSeconds(), &result.stats);
   }
   result.stats.unique_transformations = result.store.size();
 
@@ -129,9 +155,10 @@ DiscoveryResult DiscoverTransformations(const std::vector<ExamplePair>& rows,
   result.coverage = ComputeCoverage(result.store, result.units, rows, options,
                                     &result.stats);
 
-  // Phase 5: solution compilation.
+  // Phase 5: solution compilation (main thread: wall == worker seconds).
   {
     ScopedTimer timer(&result.stats.time_solution);
+    ScopedTimer cpu_timer(&result.stats.cpu_solution);
     uint32_t min_support = 1;
     if (options.min_support_fraction > 0.0) {
       min_support = static_cast<uint32_t>(std::ceil(
@@ -145,6 +172,10 @@ DiscoveryResult DiscoverTransformations(const std::vector<ExamplePair>& rows,
   }
 
   result.stats.time_total = total.ElapsedSeconds();
+  result.stats.cpu_total =
+      result.stats.cpu_placeholder_gen + result.stats.cpu_unit_extraction +
+      result.stats.cpu_duplicate_removal + result.stats.cpu_apply +
+      result.stats.cpu_solution;
   return result;
 }
 

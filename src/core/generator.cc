@@ -23,7 +23,7 @@ void GenerateTransformationsForRow(std::string_view source,
   // Phase 1: placeholders and skeletons.
   std::vector<Skeleton> skeletons;
   {
-    ScopedTimer timer(&stats->time_placeholder_gen);
+    ScopedTimer timer(&stats->cpu_placeholder_gen);
     const LcpTable lcp = LcpTable::Build(source, target);
     skeletons = EnumerateSkeletons(target, lcp, options);
   }
@@ -50,7 +50,7 @@ void GenerateTransformationsForRow(std::string_view source,
     if (it != unit_memo.end()) return it->second;
     std::vector<UnitId> units;
     {
-      ScopedTimer timer(&stats->time_unit_extraction);
+      ScopedTimer timer(&stats->cpu_unit_extraction);
       ExtractUnitsForPlaceholder(source, target, block, options, interner,
                                  &units);
     }
@@ -91,7 +91,7 @@ void GenerateTransformationsForRow(std::string_view source,
     // Odometer over the Cartesian product.
     std::vector<size_t> cursor(slots.size(), 0);
     std::vector<UnitId> units(slots.size());
-    ScopedTimer timer(&stats->time_duplicate_removal);
+    ScopedTimer timer(&stats->cpu_duplicate_removal);
     for (;;) {
       for (size_t i = 0; i < slots.size(); ++i) units[i] = (*slots[i])[cursor[i]];
       Transformation t = Transformation::Normalized(units, interner);

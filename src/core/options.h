@@ -10,6 +10,8 @@
 
 namespace tj {
 
+class ThreadPool;
+
 struct DiscoveryOptions {
   /// Maximum placeholders per skeleton (the paper's p / Auto-Join tree
   /// depth). Skeletons above the cap are dropped; 3 in the paper's web,
@@ -65,10 +67,18 @@ struct DiscoveryOptions {
   /// concurrency, 1 = the serial reference path (the paper's setting, kept
   /// as the default so ablation timings stay comparable). Results are
   /// bit-identical across thread counts: shards are merged in row order, so
-  /// only wall time changes. With num_threads > 1 the per-phase
-  /// DiscoveryStats times are summed across workers (CPU seconds, not wall
-  /// seconds); counters stay exact.
+  /// only wall time changes. Per-phase DiscoveryStats time_* fields report
+  /// wall clock at every thread count; the cpu_* fields carry the summed
+  /// per-worker seconds. Counters stay exact.
   int num_threads = 1;
+
+  /// Optional externally-owned worker pool shared across phases — and, at
+  /// corpus scale, across table pairs (see src/corpus/). When set it
+  /// overrides num_threads and no phase-local pool is constructed; the
+  /// caller keeps the pool alive for the duration of the call. A discovery
+  /// that itself runs inside a ParallelFor chunk of this pool degrades to
+  /// the serial reference path automatically (same results).
+  ThreadPool* pool = nullptr;
 };
 
 }  // namespace tj

@@ -35,12 +35,27 @@ struct DiscoveryStats {
   uint64_t covering_pairs = 0;
 
   // --- Phase wall times (seconds), the Figure 4 breakdown ---
+  // Wall clock per phase at every thread count. The three per-row
+  // generation phases interleave inside one fused pass, so in parallel runs
+  // their wall times are the generation pass's wall clock apportioned
+  // pro-rata to the per-worker seconds below (they still sum to the
+  // measured generation wall time).
   double time_placeholder_gen = 0;   // LCP build + skeleton enumeration
   double time_unit_extraction = 0;   // candidate units per placeholder
   double time_duplicate_removal = 0; // Cartesian product + hash-consing
   double time_apply = 0;             // coverage computation
   double time_solution = 0;          // top-k + greedy set cover
   double time_total = 0;
+
+  // --- Per-phase worker seconds (summed across workers) ---
+  // On one thread these track the wall times; with N workers they can
+  // approach N x wall and expose the parallel speedup (wall vs cpu).
+  double cpu_placeholder_gen = 0;
+  double cpu_unit_extraction = 0;
+  double cpu_duplicate_removal = 0;
+  double cpu_apply = 0;
+  double cpu_solution = 0;
+  double cpu_total = 0;  // sum of the cpu_* phases above
 
   /// Fraction of generated transformations discarded as duplicates.
   double DuplicateRatio() const {
@@ -75,6 +90,12 @@ struct DiscoveryStats {
     time_apply += other.time_apply;
     time_solution += other.time_solution;
     time_total += other.time_total;
+    cpu_placeholder_gen += other.cpu_placeholder_gen;
+    cpu_unit_extraction += other.cpu_unit_extraction;
+    cpu_duplicate_removal += other.cpu_duplicate_removal;
+    cpu_apply += other.cpu_apply;
+    cpu_solution += other.cpu_solution;
+    cpu_total += other.cpu_total;
     return *this;
   }
 };

@@ -1,0 +1,472 @@
+#include "corpus/catalog.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace tj {
+namespace {
+
+/// Minimal line parser for the signature dump: whitespace-separated tokens,
+/// names quoted with the EscapeForDisplay escapes.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view line) : line_(line) {}
+
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+  /// Consumes `word` (must be followed by whitespace or end of line).
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (line_.substr(pos_, word.size()) != word) return false;
+    const size_t after = pos_ + word.size();
+    if (after < line_.size() && line_[after] != ' ' && line_[after] != '\t') {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  /// Consumes `key` then '=' and leaves the cursor on the value.
+  bool ConsumeKey(std::string_view key) {
+    SkipSpace();
+    if (line_.substr(pos_, key.size()) != key) return false;
+    if (pos_ + key.size() >= line_.size() ||
+        line_[pos_ + key.size()] != '=') {
+      return false;
+    }
+    pos_ += key.size() + 1;
+    return true;
+  }
+
+  Result<uint64_t> ParseU64() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < line_.size() && line_[pos_] >= '0' && line_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected unsigned integer");
+    }
+    return static_cast<uint64_t>(
+        std::strtoull(std::string(line_.substr(start, pos_ - start)).c_str(),
+                      nullptr, 10));
+  }
+
+  /// Parses a double written by "%a" (hex float) or "%g".
+  Result<double> ParseDouble() {
+    SkipSpace();
+    const std::string rest(line_.substr(pos_));
+    char* end = nullptr;
+    const double value = std::strtod(rest.c_str(), &end);
+    if (end == rest.c_str()) {
+      return Status::InvalidArgument("expected floating-point value");
+    }
+    pos_ += static_cast<size_t>(end - rest.c_str());
+    return value;
+  }
+
+  /// Parses a single-quoted string with the EscapeForDisplay escapes.
+  Result<std::string> ParseQuoted() {
+    SkipSpace();
+    if (pos_ >= line_.size() || line_[pos_] != '\'') {
+      return Status::InvalidArgument("expected opening quote");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < line_.size()) {
+      const char c = line_[pos_++];
+      if (c == '\'') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= line_.size()) break;
+      const char esc = line_[pos_++];
+      switch (esc) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case '\'': out.push_back('\''); break;
+        case '\\': out.push_back('\\'); break;
+        case 'x': {
+          if (pos_ + 2 > line_.size()) {
+            return Status::InvalidArgument("truncated \\x escape");
+          }
+          const auto hex_digit = [](char h) -> int {
+            if (h >= '0' && h <= '9') return h - '0';
+            if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+            if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+            return -1;
+          };
+          const int hi = hex_digit(line_[pos_]);
+          const int lo = hex_digit(line_[pos_ + 1]);
+          pos_ += 2;
+          if (hi < 0 || lo < 0) {
+            return Status::InvalidArgument("invalid \\x escape");
+          }
+          out.push_back(static_cast<char>(hi * 16 + lo));
+          break;
+        }
+        default:
+          return Status::InvalidArgument(std::string("unknown escape: \\") +
+                                         esc);
+      }
+    }
+    return Status::InvalidArgument("unterminated quoted string");
+  }
+
+ private:
+  std::string_view line_;
+  size_t pos_ = 0;
+};
+
+constexpr std::string_view kSignatureHeader = "# tj-signatures v1";
+
+}  // namespace
+
+Result<uint32_t> TableCatalog::AddTable(Table table) {
+  if (table.name().empty()) {
+    return Status::InvalidArgument("catalog tables need a non-empty name");
+  }
+  if (table_index_.find(table.name()) != table_index_.end()) {
+    return Status::AlreadyExists("duplicate table name: " + table.name());
+  }
+  const auto id = static_cast<uint32_t>(tables_.size());
+  TableEntry entry;
+  entry.signatures.resize(table.num_columns());
+  entry.table = std::move(table);
+  table_index_.emplace(entry.table.name(), id);
+  tables_.push_back(std::move(entry));
+  return id;
+}
+
+Status TableCatalog::AddCsvDirectory(const std::string& dir,
+                                     const CsvOptions& csv) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::IOError("error listing " + dir + ": " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    auto table = ReadCsvFile(path.string(), csv);
+    if (!table.ok()) {
+      return Status(table.status().code(),
+                    path.string() + ": " + table.status().message());
+    }
+    table->set_name(path.stem().string());
+    auto added = AddTable(*std::move(table));
+    if (!added.ok()) return added.status();
+  }
+  return Status::OK();
+}
+
+const Table& TableCatalog::table(uint32_t t) const {
+  TJ_CHECK(t < tables_.size());
+  return tables_[t].table;
+}
+
+Result<uint32_t> TableCatalog::TableIndex(std::string_view name) const {
+  const auto it = table_index_.find(name);
+  if (it == table_index_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+size_t TableCatalog::num_columns() const {
+  size_t total = 0;
+  for (const TableEntry& entry : tables_) {
+    total += entry.table.num_columns();
+  }
+  return total;
+}
+
+std::vector<ColumnRef> TableCatalog::AllColumns() const {
+  std::vector<ColumnRef> refs;
+  refs.reserve(num_columns());
+  for (uint32_t t = 0; t < tables_.size(); ++t) {
+    for (uint32_t c = 0; c < tables_[t].table.num_columns(); ++c) {
+      refs.push_back(ColumnRef{t, c});
+    }
+  }
+  return refs;
+}
+
+const Column& TableCatalog::column(ColumnRef ref) const {
+  TJ_CHECK(ref.table < tables_.size());
+  return tables_[ref.table].table.column(ref.column);
+}
+
+void TableCatalog::ComputeSignatures(ThreadPool* pool) {
+  std::vector<ColumnRef> missing;
+  for (uint32_t t = 0; t < tables_.size(); ++t) {
+    for (uint32_t c = 0; c < tables_[t].table.num_columns(); ++c) {
+      if (!tables_[t].signatures[c].has_value()) {
+        missing.push_back(ColumnRef{t, c});
+      }
+    }
+  }
+  if (missing.empty()) return;
+
+  auto compute = [&](ColumnRef ref) {
+    tables_[ref.table].signatures[ref.column] =
+        ComputeColumnSignature(column(ref), options_);
+  };
+  if (pool != nullptr && pool->size() > 1 && missing.size() > 1 &&
+      !InParallelFor()) {
+    // Each column writes its own slot, so any chunking is deterministic;
+    // over-decompose to balance uneven column sizes.
+    pool->ParallelFor(missing.size(),
+                      std::min(missing.size(),
+                               static_cast<size_t>(pool->size()) * 4),
+                      [&](int /*worker*/, size_t /*chunk*/, size_t begin,
+                          size_t end) {
+                        for (size_t i = begin; i < end; ++i) {
+                          compute(missing[i]);
+                        }
+                      });
+  } else {
+    for (ColumnRef ref : missing) compute(ref);
+  }
+}
+
+bool TableCatalog::HasSignature(ColumnRef ref) const {
+  TJ_CHECK(ref.table < tables_.size());
+  TJ_CHECK(ref.column < tables_[ref.table].signatures.size());
+  return tables_[ref.table].signatures[ref.column].has_value();
+}
+
+const ColumnSignature& TableCatalog::signature(ColumnRef ref) const {
+  TJ_CHECK(HasSignature(ref));
+  return *tables_[ref.table].signatures[ref.column];
+}
+
+std::string TableCatalog::SerializeSignatures() const {
+  std::string out(kSignatureHeader);
+  out += "\n";
+  out += StrPrintf("options ngram=%llu hashes=%llu seed=%llu lowercase=%d\n",
+                   static_cast<unsigned long long>(options_.ngram),
+                   static_cast<unsigned long long>(options_.num_hashes),
+                   static_cast<unsigned long long>(options_.seed),
+                   options_.lowercase ? 1 : 0);
+  for (const TableEntry& entry : tables_) {
+    bool any = false;
+    for (const auto& sig : entry.signatures) {
+      if (sig.has_value()) any = true;
+    }
+    if (!any) continue;
+    out += StrPrintf("table '%s'\n",
+                     EscapeForDisplay(entry.table.name()).c_str());
+    for (size_t c = 0; c < entry.signatures.size(); ++c) {
+      const auto& sig = entry.signatures[c];
+      if (!sig.has_value()) continue;
+      // meanlen uses %a (hex float) so the double round-trips exactly.
+      out += StrPrintf(
+          "column '%s' rows=%u distinct=%llu minlen=%u maxlen=%u meanlen=%a "
+          "charset=%u\n",
+          EscapeForDisplay(entry.table.column(c).name()).c_str(),
+          sig->num_rows, static_cast<unsigned long long>(sig->distinct_ngrams),
+          sig->min_length, sig->max_length, sig->mean_length,
+          sig->charset_mask);
+      out += "minhash";
+      for (uint64_t h : sig->minhash) {
+        out += StrPrintf(" %llu", static_cast<unsigned long long>(h));
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Status TableCatalog::LoadSignatures(std::string_view text) {
+  // Parse into a staging list first so a malformed dump installs nothing.
+  std::vector<std::pair<ColumnRef, ColumnSignature>> staged;
+  std::optional<uint32_t> current_table;
+  bool saw_header = false;
+  bool saw_options = false;
+
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    auto fail = [&](const std::string& msg) {
+      return Status::InvalidArgument(
+          StrPrintf("signatures line %zu: %s", line_no, msg.c_str()));
+    };
+
+    line = TrimAscii(line);
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kSignatureHeader) return fail("missing tj-signatures header");
+      saw_header = true;
+      continue;
+    }
+    if (line[0] == '#') continue;
+
+    LineCursor cursor(line);
+    if (cursor.ConsumeWord("options")) {
+      if (!cursor.ConsumeKey("ngram")) return fail("expected ngram=");
+      auto ngram = cursor.ParseU64();
+      if (!ngram.ok()) return fail(ngram.status().message());
+      if (!cursor.ConsumeKey("hashes")) return fail("expected hashes=");
+      auto hashes = cursor.ParseU64();
+      if (!hashes.ok()) return fail(hashes.status().message());
+      if (!cursor.ConsumeKey("seed")) return fail("expected seed=");
+      auto seed = cursor.ParseU64();
+      if (!seed.ok()) return fail(seed.status().message());
+      if (!cursor.ConsumeKey("lowercase")) return fail("expected lowercase=");
+      auto lowercase = cursor.ParseU64();
+      if (!lowercase.ok()) return fail(lowercase.status().message());
+      if (*ngram != options_.ngram || *hashes != options_.num_hashes ||
+          *seed != options_.seed ||
+          (*lowercase != 0) != options_.lowercase) {
+        return fail("sketch parameters disagree with this catalog's options");
+      }
+      saw_options = true;
+      continue;
+    }
+    if (!saw_options) return fail("expected options line first");
+
+    if (cursor.ConsumeWord("table")) {
+      auto name = cursor.ParseQuoted();
+      if (!name.ok()) return fail(name.status().message());
+      auto index = TableIndex(*name);
+      if (!index.ok()) return fail(index.status().message());
+      current_table = *index;
+      continue;
+    }
+    if (cursor.ConsumeWord("column")) {
+      if (!current_table.has_value()) return fail("column before any table");
+      auto name = cursor.ParseQuoted();
+      if (!name.ok()) return fail(name.status().message());
+      const Table& owner = tables_[*current_table].table;
+      auto col = owner.ColumnIndex(*name);
+      if (!col.ok()) {
+        return fail("table '" + owner.name() + "' has no column '" + *name +
+                    "'");
+      }
+      ColumnSignature sig;
+      sig.ngram = options_.ngram;
+      sig.seed = options_.seed;
+      if (!cursor.ConsumeKey("rows")) return fail("expected rows=");
+      auto rows = cursor.ParseU64();
+      if (!rows.ok()) return fail(rows.status().message());
+      sig.num_rows = static_cast<uint32_t>(*rows);
+      if (!cursor.ConsumeKey("distinct")) return fail("expected distinct=");
+      auto distinct = cursor.ParseU64();
+      if (!distinct.ok()) return fail(distinct.status().message());
+      sig.distinct_ngrams = *distinct;
+      if (!cursor.ConsumeKey("minlen")) return fail("expected minlen=");
+      auto minlen = cursor.ParseU64();
+      if (!minlen.ok()) return fail(minlen.status().message());
+      sig.min_length = static_cast<uint32_t>(*minlen);
+      if (!cursor.ConsumeKey("maxlen")) return fail("expected maxlen=");
+      auto maxlen = cursor.ParseU64();
+      if (!maxlen.ok()) return fail(maxlen.status().message());
+      sig.max_length = static_cast<uint32_t>(*maxlen);
+      if (!cursor.ConsumeKey("meanlen")) return fail("expected meanlen=");
+      auto meanlen = cursor.ParseDouble();
+      if (!meanlen.ok()) return fail(meanlen.status().message());
+      sig.mean_length = *meanlen;
+      if (!cursor.ConsumeKey("charset")) return fail("expected charset=");
+      auto charset = cursor.ParseU64();
+      if (!charset.ok()) return fail(charset.status().message());
+      sig.charset_mask = static_cast<uint32_t>(*charset);
+      if (sig.num_rows != column(ColumnRef{*current_table,
+                                           static_cast<uint32_t>(*col)})
+                              .size()) {
+        return fail("row count disagrees with the catalog table");
+      }
+      staged.emplace_back(
+          ColumnRef{*current_table, static_cast<uint32_t>(*col)},
+          std::move(sig));
+      continue;
+    }
+    if (cursor.ConsumeWord("minhash")) {
+      if (staged.empty()) return fail("minhash before any column");
+      ColumnSignature& sig = staged.back().second;
+      if (!sig.minhash.empty()) return fail("duplicate minhash line");
+      sig.minhash.reserve(options_.num_hashes);
+      while (!cursor.AtEnd()) {
+        auto h = cursor.ParseU64();
+        if (!h.ok()) return fail(h.status().message());
+        sig.minhash.push_back(*h);
+      }
+      if (sig.minhash.size() != options_.num_hashes) {
+        return fail(StrPrintf("expected %zu minhash slots, got %zu",
+                              options_.num_hashes, sig.minhash.size()));
+      }
+      continue;
+    }
+    return fail("unrecognized line");
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("signatures: missing tj-signatures header");
+  }
+  for (const auto& [ref, sig] : staged) {
+    if (sig.minhash.size() != options_.num_hashes) {
+      return Status::InvalidArgument(
+          "signatures: column '" +
+          tables_[ref.table].table.column(ref.column).name() +
+          "' is missing its minhash line");
+    }
+  }
+
+  for (auto& [ref, sig] : staged) {
+    tables_[ref.table].signatures[ref.column] = std::move(sig);
+  }
+  return Status::OK();
+}
+
+Status TableCatalog::SaveSignaturesToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const std::string text = SerializeSignatures();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) return Status::IOError("error writing " + path);
+  return Status::OK();
+}
+
+Status TableCatalog::LoadSignaturesFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("error reading " + path);
+  return LoadSignatures(buffer.str());
+}
+
+}  // namespace tj

@@ -1,0 +1,108 @@
+// TableCatalog: the registry a corpus-scale discovery run works from. Holds
+// the tables themselves (registered in-memory or loaded from a directory of
+// CSV files) plus one cached ColumnSignature per column, computed on demand
+// — optionally in parallel on a shared ThreadPool — and serializable, so a
+// repository's sketches are built once and reloaded across runs (the same
+// persist-and-transfer idea core/serialization applies to learned rules).
+
+#ifndef TJ_CORPUS_CATALOG_H_
+#define TJ_CORPUS_CATALOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "corpus/signature.h"
+#include "table/csv.h"
+#include "table/table.h"
+
+namespace tj {
+
+class ThreadPool;
+
+/// Addresses one column of one catalog table.
+struct ColumnRef {
+  uint32_t table = 0;
+  uint32_t column = 0;
+
+  bool operator==(const ColumnRef& other) const {
+    return table == other.table && column == other.column;
+  }
+  /// Catalog order: table-major, then column.
+  bool operator<(const ColumnRef& other) const {
+    return table != other.table ? table < other.table
+                                : column < other.column;
+  }
+};
+
+class TableCatalog {
+ public:
+  explicit TableCatalog(SignatureOptions options = SignatureOptions())
+      : options_(options) {}
+
+  /// Registers a table. Fails on an empty or duplicate table name (names
+  /// key the serialized signature cache, so they must be unique).
+  Result<uint32_t> AddTable(Table table);
+
+  /// Registers every `*.csv` file of a directory (non-recursive), in
+  /// filename order, as a table named after the file stem.
+  Status AddCsvDirectory(const std::string& dir,
+                         const CsvOptions& csv = CsvOptions());
+
+  size_t num_tables() const { return tables_.size(); }
+  const Table& table(uint32_t t) const;
+  Result<uint32_t> TableIndex(std::string_view name) const;
+
+  /// Total column count across tables.
+  size_t num_columns() const;
+  /// Every column in catalog order (table-major).
+  std::vector<ColumnRef> AllColumns() const;
+  const Column& column(ColumnRef ref) const;
+
+  const SignatureOptions& signature_options() const { return options_; }
+
+  /// Ensures every column's signature is cached. Columns still missing one
+  /// are computed — in parallel over columns when `pool` is given (each
+  /// column's signature depends only on that column, so results are
+  /// identical for every pool size). Idempotent; previously computed or
+  /// loaded signatures are never recomputed.
+  void ComputeSignatures(ThreadPool* pool = nullptr);
+
+  bool HasSignature(ColumnRef ref) const;
+  /// Requires HasSignature(ref) (TJ_CHECK).
+  const ColumnSignature& signature(ColumnRef ref) const;
+
+  /// Serializes every cached signature, keyed by table/column name, in a
+  /// line-based text format ("# tj-signatures v1"). Tables and columns
+  /// without a cached signature are omitted.
+  std::string SerializeSignatures() const;
+
+  /// Parses a SerializeSignatures dump and installs the signatures on the
+  /// matching columns of this catalog. Fails (without partial installs) on
+  /// malformed input, unknown table/column names, or sketch parameters that
+  /// disagree with this catalog's SignatureOptions.
+  Status LoadSignatures(std::string_view text);
+
+  Status SaveSignaturesToFile(const std::string& path) const;
+  Status LoadSignaturesFromFile(const std::string& path);
+
+ private:
+  struct TableEntry {
+    Table table;
+    std::vector<std::optional<ColumnSignature>> signatures;
+  };
+
+  SignatureOptions options_;
+  std::vector<TableEntry> tables_;
+  std::unordered_map<std::string, uint32_t, StringHash, StringEq>
+      table_index_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_CORPUS_CATALOG_H_

@@ -1,0 +1,100 @@
+#include "corpus/corpus_discovery.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "match/row_matcher.h"
+
+namespace tj {
+namespace {
+
+/// Runs the per-pair engine on one shortlisted candidate. Executed either
+/// inside the pair-level ParallelFor (where the shared pool degrades every
+/// inner phase to its serial path) or inline when the shortlist has a
+/// single pair (where the inner phases get the whole pool).
+CorpusPairResult EvaluatePair(const TableCatalog& catalog,
+                              const ColumnPairCandidate& candidate,
+                              const JoinOptions& join_options) {
+  CorpusPairResult result;
+  result.candidate = candidate;
+
+  const Column& col_a = catalog.column(candidate.a);
+  const Column& col_b = catalog.column(candidate.b);
+  const bool a_is_source = PickSourceColumn(col_a, col_b);
+  result.source = a_is_source ? candidate.a : candidate.b;
+  result.target = a_is_source ? candidate.b : candidate.a;
+
+  // join_options carries min_learning_pairs, so an unlearnable pair stops
+  // right after candidate matching — no discovery, no equi-join.
+  const JoinResult joined = TransformJoinColumns(
+      catalog.column(result.source), catalog.column(result.target),
+      /*golden=*/nullptr, join_options);
+  result.learning_pairs = joined.learning_pairs;
+  result.joined_rows = joined.joined.size();
+  result.top_coverage = joined.discovery.TopCoverageFraction();
+  result.transformations = joined.applied_transformations;
+  return result;
+}
+
+}  // namespace
+
+std::string CorpusDiscoveryResult::Describe(const TableCatalog& catalog,
+                                            size_t max_items) const {
+  std::string out = StrPrintf(
+      "column pairs: %zu total, %zu pruned (%.1f%%), %zu evaluated\n",
+      total_column_pairs, pruned_pairs, 100.0 * PruningRatio(),
+      results.size());
+  const size_t n = std::min(max_items, results.size());
+  for (size_t i = 0; i < n; ++i) {
+    const CorpusPairResult& r = results[i];
+    const std::string best =
+        r.transformations.empty() ? "-" : r.transformations.front();
+    out += StrPrintf(
+        "  %2zu. %s.%s -> %s.%s  score=%.3f pairs=%zu joined=%zu cov=%.2f  "
+        "%s\n",
+        i + 1, catalog.table(r.source.table).name().c_str(),
+        catalog.column(r.source).name().c_str(),
+        catalog.table(r.target.table).name().c_str(),
+        catalog.column(r.target).name().c_str(), r.candidate.score,
+        r.learning_pairs, r.joined_rows, r.top_coverage, best.c_str());
+  }
+  return out;
+}
+
+CorpusDiscoveryResult DiscoverJoinableColumns(
+    TableCatalog* catalog, const CorpusDiscoveryOptions& options) {
+  CorpusDiscoveryResult result;
+
+  // The run's single pool: signatures, pair scoring, pair-level fan-out,
+  // and (through the options plumbing) every per-pair phase.
+  ThreadPool pool(options.num_threads);
+
+  catalog->ComputeSignatures(&pool);
+  PairPrunerResult pruned = ShortlistPairs(*catalog, options.pruner, &pool);
+  result.total_column_pairs = pruned.total_pairs;
+  result.pruned_pairs = pruned.pruned_pairs;
+  if (pruned.shortlist.empty()) return result;
+
+  JoinOptions join_options = options.join;
+  join_options.discovery.pool = &pool;
+  join_options.match_options.pool = &pool;
+  join_options.min_learning_pairs =
+      std::max(join_options.min_learning_pairs, options.min_learning_pairs);
+
+  // One chunk per pair: pair costs vary wildly, so let the ticket scheduler
+  // balance. Each pair writes its own shortlist-order slot — the merged
+  // output never depends on scheduling or thread count.
+  result.results.resize(pruned.shortlist.size());
+  pool.ParallelFor(pruned.shortlist.size(), pruned.shortlist.size(),
+                   [&](int /*worker*/, size_t /*chunk*/, size_t begin,
+                       size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       result.results[i] = EvaluatePair(
+                           *catalog, pruned.shortlist[i], join_options);
+                     }
+                   });
+  return result;
+}
+
+}  // namespace tj

@@ -1,0 +1,96 @@
+// CorpusDiscovery: repository-scale joinable-pair discovery — the GXJoin /
+// QJoin direction from PAPERS.md layered on top of the paper's per-pair
+// engine. A run (1) sketches every catalog column, (2) prunes the O(N^2)
+// column-pair space to a ranked shortlist (PairPruner), and (3) executes
+// the full per-pair pipeline (FindJoinablePairs + transformation discovery
+// + equi-join) over the shortlist with a pair-level ParallelFor.
+//
+// Threading contract: the run constructs exactly ONE ThreadPool and shares
+// it everywhere — signature computation, pair scoring, and the pair-level
+// fan-out; the same pool is also handed down through DiscoveryOptions::pool
+// and RowMatchOptions::pool, so per-pair phases never spawn pools of their
+// own (a pair executing inside the fan-out falls back to its serial path,
+// which is exactly what pair-level parallelism wants). Per-pair results are
+// written into shortlist-order slots, so the output is bit-identical for
+// every num_threads value.
+
+#ifndef TJ_CORPUS_CORPUS_DISCOVERY_H_
+#define TJ_CORPUS_CORPUS_DISCOVERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/catalog.h"
+#include "corpus/pair_pruner.h"
+#include "join/join_engine.h"
+
+namespace tj {
+
+struct CorpusDiscoveryOptions {
+  /// Pair pruning (floor, charset gate, shortlist cap).
+  PairPrunerOptions pruner;
+
+  /// Per-pair engine configuration (matching, discovery, join support).
+  /// The pool and thread fields inside are overridden by the shared pool;
+  /// everything else applies per pair.
+  JoinOptions join;
+
+  /// Pair-level worker threads (0 = hardware concurrency). Results are
+  /// identical for every value; only wall time changes.
+  int num_threads = 1;
+
+  /// Shortlisted pairs with fewer candidate learning pairs than this stop
+  /// right after candidate matching — discovery and the equi-join never run
+  /// (forwarded into JoinOptions::min_learning_pairs for each pair).
+  size_t min_learning_pairs = 1;
+};
+
+/// Outcome of running the per-pair engine on one shortlisted column pair.
+struct CorpusPairResult {
+  /// The pruner's candidate (refs in catalog order + containment score).
+  ColumnPairCandidate candidate;
+  /// Orientation actually used: the more descriptive column is the source.
+  ColumnRef source;
+  ColumnRef target;
+  /// Candidate row pairs the transformations were learned from.
+  size_t learning_pairs = 0;
+  /// Rows produced by the transform-then-equi-join.
+  size_t joined_rows = 0;
+  /// Coverage fraction of the best single transformation on the learning
+  /// pairs.
+  double top_coverage = 0.0;
+  /// Transformations applied for the join (pretty-printed, reloadable via
+  /// core/serialization).
+  std::vector<std::string> transformations;
+};
+
+struct CorpusDiscoveryResult {
+  /// Cross-table column pairs before pruning.
+  size_t total_column_pairs = 0;
+  /// Pairs rejected by the pruner's gates.
+  size_t pruned_pairs = 0;
+  /// Per-pair outcomes in shortlist (ranked) order.
+  std::vector<CorpusPairResult> results;
+
+  double PruningRatio() const {
+    if (total_column_pairs == 0) return 0.0;
+    return static_cast<double>(pruned_pairs) /
+           static_cast<double>(total_column_pairs);
+  }
+
+  /// Human-readable ranked summary (one line per evaluated pair).
+  std::string Describe(const TableCatalog& catalog,
+                       size_t max_items = 20) const;
+};
+
+/// Runs corpus-scale discovery over every table registered in `catalog`.
+/// Computes any missing column signatures first (cached in the catalog, so
+/// repeated runs and serialized sketch caches are honored).
+CorpusDiscoveryResult DiscoverJoinableColumns(
+    TableCatalog* catalog, const CorpusDiscoveryOptions& options);
+
+}  // namespace tj
+
+#endif  // TJ_CORPUS_CORPUS_DISCOVERY_H_

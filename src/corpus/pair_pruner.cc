@@ -1,0 +1,100 @@
+#include "corpus/pair_pruner.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+#include "corpus/signature.h"
+
+namespace tj {
+namespace {
+
+/// Candidate pair ordering: score descending, then catalog order. Strict
+/// weak ordering with no floating-point ties left to chance — scores are
+/// computed identically regardless of chunking, so the sort is stable
+/// across thread counts.
+bool RankBefore(const ColumnPairCandidate& x, const ColumnPairCandidate& y) {
+  if (x.score != y.score) return x.score > y.score;
+  if (!(x.a == y.a)) return x.a < y.a;
+  return x.b < y.b;
+}
+
+struct ChunkOutput {
+  std::vector<ColumnPairCandidate> survivors;
+  size_t considered = 0;
+};
+
+}  // namespace
+
+PairPrunerResult ShortlistPairs(const TableCatalog& catalog,
+                                const PairPrunerOptions& options,
+                                ThreadPool* pool) {
+  PairPrunerResult result;
+  const std::vector<ColumnRef> columns = catalog.AllColumns();
+  const size_t n = columns.size();
+  if (n < 2) return result;
+
+  // Evaluates all pairs (columns[i], columns[j]) for i in [begin, end),
+  // j > i — cross-table only — appending survivors in catalog order.
+  auto scan_rows = [&](size_t begin, size_t end, ChunkOutput* out) {
+    for (size_t i = begin; i < end; ++i) {
+      const ColumnRef a = columns[i];
+      const ColumnSignature& sig_a = catalog.signature(a);
+      for (size_t j = i + 1; j < n; ++j) {
+        const ColumnRef b = columns[j];
+        if (a.table == b.table) continue;  // self-joins are out of scope
+        ++out->considered;
+        const ColumnSignature& sig_b = catalog.signature(b);
+        if (sig_a.num_rows < options.min_rows ||
+            sig_b.num_rows < options.min_rows) {
+          continue;
+        }
+        if (options.require_charset_overlap &&
+            (sig_a.charset_mask & sig_b.charset_mask) == 0) {
+          continue;
+        }
+        const double score = EstimateNgramContainment(sig_a, sig_b);
+        if (score < options.min_containment) continue;
+        out->survivors.push_back(ColumnPairCandidate{a, b, score});
+      }
+    }
+  };
+
+  std::vector<ColumnPairCandidate> survivors;
+  size_t considered = 0;
+  if (pool != nullptr && pool->size() > 1 && !InParallelFor()) {
+    // Parallel over the triangle's rows. Row i carries n - i - 1 pairs, so
+    // over-decompose heavily and let the ticket scheduler balance; chunks
+    // are merged in chunk order, keeping the pre-sort survivor order (and
+    // thus the final ranking) identical to the serial scan.
+    const size_t num_chunks =
+        std::min(n, static_cast<size_t>(pool->size()) * 8);
+    std::vector<ChunkOutput> chunks(num_chunks);
+    pool->ParallelFor(n, num_chunks,
+                      [&](int /*worker*/, size_t chunk, size_t begin,
+                          size_t end) {
+                        scan_rows(begin, end, &chunks[chunk]);
+                      });
+    for (ChunkOutput& chunk : chunks) {
+      survivors.insert(survivors.end(), chunk.survivors.begin(),
+                       chunk.survivors.end());
+      considered += chunk.considered;
+    }
+  } else {
+    ChunkOutput out;
+    scan_rows(0, n, &out);
+    survivors = std::move(out.survivors);
+    considered = out.considered;
+  }
+
+  result.total_pairs = considered;
+  result.pruned_pairs = considered - survivors.size();
+  std::sort(survivors.begin(), survivors.end(), RankBefore);
+  if (options.max_candidates != 0 &&
+      survivors.size() > options.max_candidates) {
+    survivors.resize(options.max_candidates);
+  }
+  result.shortlist = std::move(survivors);
+  return result;
+}
+
+}  // namespace tj

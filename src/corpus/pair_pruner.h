@@ -1,0 +1,76 @@
+// PairPruner: turns the O(N^2) cross-table column-pair space into a short,
+// deterministically ranked shortlist using only the catalog's cached
+// signatures. A pair survives when its estimated n-gram containment clears
+// a configurable floor (and the columns' character sets overlap at all);
+// everything else is pruned before a single inverted index is built. This
+// is what makes corpus-scale discovery tractable: the per-pair engine only
+// runs on pairs that could plausibly produce representative gram matches.
+
+#ifndef TJ_CORPUS_PAIR_PRUNER_H_
+#define TJ_CORPUS_PAIR_PRUNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "corpus/catalog.h"
+
+namespace tj {
+
+class ThreadPool;
+
+struct PairPrunerOptions {
+  /// Floor on the estimated n-gram containment (signature.h). Joinable
+  /// synthetic pairs score ~0.4+ while unrelated alphanumeric columns score
+  /// ~0, so the default keeps a wide recall margin; 0 disables pruning (the
+  /// brute-force baseline).
+  double min_containment = 0.05;
+
+  /// Skip pairs whose charset masks share no character class at all (an
+  /// all-digits id column against an all-letters name column can share no
+  /// n-gram). Computed on the same normalized text as the sketches.
+  bool require_charset_overlap = true;
+
+  /// Columns with fewer rows are not considered join candidates.
+  size_t min_rows = 2;
+
+  /// Keep at most this many top-ranked candidates (0 = unlimited).
+  size_t max_candidates = 0;
+};
+
+/// One surviving cross-table column pair. `a` < `b` in catalog order; the
+/// source/target orientation is chosen later (PickSourceColumn).
+struct ColumnPairCandidate {
+  ColumnRef a;
+  ColumnRef b;
+  /// Estimated n-gram containment from the sketches (the ranking key).
+  double score = 0.0;
+};
+
+struct PairPrunerResult {
+  /// Survivors ranked by score descending, ties broken by catalog order of
+  /// (a, b) — fully deterministic for a given catalog.
+  std::vector<ColumnPairCandidate> shortlist;
+  /// Cross-table column pairs considered.
+  size_t total_pairs = 0;
+  /// Pairs rejected by the floor/charset/min_rows gates (excludes any
+  /// max_candidates truncation).
+  size_t pruned_pairs = 0;
+
+  double PruningRatio() const {
+    if (total_pairs == 0) return 0.0;
+    return static_cast<double>(pruned_pairs) /
+           static_cast<double>(total_pairs);
+  }
+};
+
+/// Scores every cross-table column pair from the catalog's signatures —
+/// in parallel over the pair space when `pool` is given (per-chunk survivor
+/// buffers merged in chunk order, so the shortlist is identical for every
+/// pool size). Requires ComputeSignatures() to have run (TJ_CHECK).
+PairPrunerResult ShortlistPairs(const TableCatalog& catalog,
+                                const PairPrunerOptions& options,
+                                ThreadPool* pool = nullptr);
+
+}  // namespace tj
+
+#endif  // TJ_CORPUS_PAIR_PRUNER_H_

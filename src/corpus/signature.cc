@@ -1,0 +1,105 @@
+#include "corpus/signature.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "text/char_class.h"
+#include "text/ngram.h"
+
+namespace tj {
+namespace {
+
+uint32_t CharsetBitOf(char c) {
+  if (c >= 'a' && c <= 'z') return kCharsetLower;
+  if (c >= 'A' && c <= 'Z') return kCharsetUpper;
+  if (IsDigitChar(c)) return kCharsetDigit;
+  if (IsSpaceChar(c)) return kCharsetSpace;
+  if (IsPunctChar(c)) return kCharsetPunct;
+  return kCharsetOther;
+}
+
+}  // namespace
+
+bool ColumnSignature::operator==(const ColumnSignature& other) const {
+  return num_rows == other.num_rows &&
+         distinct_ngrams == other.distinct_ngrams &&
+         min_length == other.min_length && max_length == other.max_length &&
+         mean_length == other.mean_length &&
+         charset_mask == other.charset_mask && ngram == other.ngram &&
+         seed == other.seed && minhash == other.minhash;
+}
+
+ColumnSignature ComputeColumnSignature(const Column& column,
+                                       const SignatureOptions& options) {
+  ColumnSignature sig;
+  sig.num_rows = static_cast<uint32_t>(column.size());
+  sig.ngram = options.ngram;
+  sig.seed = options.seed;
+  sig.minhash.assign(options.num_hashes, kEmptyMinhashSlot);
+
+  // Per-slot seeds of the hash family: one Mix64 of (base seed, slot).
+  std::vector<uint64_t> slot_seeds(options.num_hashes);
+  for (size_t i = 0; i < options.num_hashes; ++i) {
+    slot_seeds[i] = HashCombine(options.seed, i);
+  }
+
+  std::unordered_set<uint64_t> distinct;
+  uint64_t total_length = 0;
+  sig.min_length = column.empty() ? 0 : ~0u;
+  for (size_t row = 0; row < column.size(); ++row) {
+    std::string lowered;
+    std::string_view text = column.Get(row);
+    if (options.lowercase) {
+      lowered = ToLowerAscii(text);
+      text = lowered;
+    }
+    const auto length = static_cast<uint32_t>(text.size());
+    total_length += length;
+    sig.min_length = std::min(sig.min_length, length);
+    sig.max_length = std::max(sig.max_length, length);
+    for (char c : text) sig.charset_mask |= CharsetBitOf(c);
+
+    ForEachNgram(text, options.ngram, [&](std::string_view gram) {
+      const uint64_t base = HashString(gram);
+      if (!distinct.insert(base).second) return;  // gram already sketched
+      for (size_t i = 0; i < slot_seeds.size(); ++i) {
+        const uint64_t h = Mix64(base ^ slot_seeds[i]);
+        if (h < sig.minhash[i]) sig.minhash[i] = h;
+      }
+    });
+  }
+  sig.distinct_ngrams = distinct.size();
+  if (!column.empty()) {
+    sig.mean_length = static_cast<double>(total_length) /
+                      static_cast<double>(column.size());
+  }
+  return sig;
+}
+
+double EstimateJaccard(const ColumnSignature& a, const ColumnSignature& b) {
+  if (!a.ComparableWith(b) || a.minhash.empty()) return 0.0;
+  if (a.distinct_ngrams == 0 || b.distinct_ngrams == 0) return 0.0;
+  size_t matches = 0;
+  for (size_t i = 0; i < a.minhash.size(); ++i) {
+    if (a.minhash[i] == b.minhash[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(a.minhash.size());
+}
+
+double EstimateNgramContainment(const ColumnSignature& a,
+                                const ColumnSignature& b) {
+  const double jaccard = EstimateJaccard(a, b);
+  if (jaccard <= 0.0) return 0.0;
+  const auto smaller = static_cast<double>(
+      std::min(a.distinct_ngrams, b.distinct_ngrams));
+  if (smaller <= 0.0) return 0.0;
+  // |A ∪ B| = (|A| + |B|) / (1 + J) and |A ∩ B| = J * |A ∪ B|.
+  const double total = static_cast<double>(a.distinct_ngrams) +
+                       static_cast<double>(b.distinct_ngrams);
+  const double intersection = jaccard * total / (1.0 + jaccard);
+  return std::min(1.0, intersection / smaller);
+}
+
+}  // namespace tj

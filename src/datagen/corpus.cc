@@ -1,0 +1,101 @@
+#include "datagen/corpus.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datagen/synth.h"
+
+namespace tj {
+namespace {
+
+constexpr std::string_view kNoiseAlphabet =
+    "abcdefghijklmnopqrstuvwxyz0123456789-._ ";
+
+Table MakeNoiseTable(size_t index, size_t rows, Rng* rng) {
+  Table table(StrPrintf("noise%02zu", index));
+  Column values("value");
+  Column ids("id");
+  for (size_t r = 0; r < rows; ++r) {
+    const auto len = static_cast<size_t>(rng->UniformInt(10, 40));
+    values.Append(rng->RandomString(len, kNoiseAlphabet));
+    ids.Append(StrPrintf("%06llu",
+                         static_cast<unsigned long long>(rng->Uniform(
+                             1000000))));
+  }
+  TJ_CHECK(table.AddColumn(std::move(values)).ok());
+  TJ_CHECK(table.AddColumn(std::move(ids)).ok());
+  return table;
+}
+
+}  // namespace
+
+SynthCorpus GenerateSynthCorpus(const SynthCorpusOptions& options) {
+  SynthCorpus corpus;
+  Rng rng(options.seed);
+
+  // Generate the building blocks first, then shuffle registration order.
+  struct Pending {
+    Table table;
+    // (golden index, true = source side) when part of a joinable pair.
+    size_t pair_index = 0;
+    bool is_source = false;
+    bool joinable = false;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(2 * options.num_joinable_pairs + options.num_noise_tables);
+
+  for (size_t i = 0; i < options.num_joinable_pairs; ++i) {
+    const uint64_t pair_seed = options.seed * 1000003ULL + i;
+    SynthOptions synth = options.long_rows ? SynthNL(options.rows, pair_seed)
+                                           : SynthN(options.rows, pair_seed);
+    SynthDataset ds = GenerateSynth(synth);
+    ds.pair.name = StrPrintf("synth%02zu", i);
+    ds.pair.source.set_name(StrPrintf("synth%02zu-src", i));
+    ds.pair.target.set_name(StrPrintf("synth%02zu-tgt", i));
+
+    Pending source;
+    source.table = ds.pair.source;
+    source.pair_index = i;
+    source.is_source = true;
+    source.joinable = true;
+    pending.push_back(std::move(source));
+
+    Pending target;
+    target.table = ds.pair.target;
+    target.pair_index = i;
+    target.is_source = false;
+    target.joinable = true;
+    pending.push_back(std::move(target));
+
+    corpus.pairs.push_back(std::move(ds.pair));
+  }
+  for (size_t i = 0; i < options.num_noise_tables; ++i) {
+    Pending noise;
+    noise.table = MakeNoiseTable(i, options.rows, &rng);
+    pending.push_back(std::move(noise));
+  }
+
+  std::vector<uint32_t> order(pending.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  corpus.golden.resize(options.num_joinable_pairs);
+  corpus.tables.reserve(pending.size());
+  for (uint32_t position = 0; position < order.size(); ++position) {
+    Pending& p = pending[order[position]];
+    if (p.joinable) {
+      if (p.is_source) {
+        corpus.golden[p.pair_index].source_table = position;
+      } else {
+        corpus.golden[p.pair_index].target_table = position;
+      }
+    }
+    corpus.tables.push_back(std::move(p.table));
+  }
+  return corpus;
+}
+
+}  // namespace tj

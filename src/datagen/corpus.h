@@ -1,0 +1,53 @@
+// Synthetic table corpus for corpus-scale discovery benchmarks and tests:
+// a mix of joinable source/target table pairs (each produced by the synth
+// generator, so the golden row matching and ground-truth transformations
+// are known) and unrelated noise tables. Table registration order is
+// shuffled so golden pairs are not adjacent — the pruner has to find them.
+
+#ifndef TJ_DATAGEN_CORPUS_H_
+#define TJ_DATAGEN_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+#include "table/table_pair.h"
+
+namespace tj {
+
+struct SynthCorpusOptions {
+  /// Joinable dataset count; each contributes a source and a target table.
+  size_t num_joinable_pairs = 10;
+  /// Unrelated single-purpose tables (2 columns: random values + digit
+  /// ids) mixed into the corpus.
+  size_t num_noise_tables = 4;
+  /// Rows per generated table.
+  size_t rows = 40;
+  /// Use Synth-NL row lengths ([40, 70]) instead of Synth-N ([20, 35]).
+  bool long_rows = false;
+  uint64_t seed = 1;
+};
+
+struct SynthCorpus {
+  /// All tables in registration (catalog) order.
+  std::vector<Table> tables;
+
+  /// A golden joinable table pair; both join columns are column 0.
+  struct GoldenPair {
+    uint32_t source_table = 0;
+    uint32_t target_table = 0;
+  };
+  /// Ground truth: which tables are joinable (indexes into `tables`).
+  std::vector<GoldenPair> golden;
+
+  /// The underlying synth pairs (row-level golden matchings and names),
+  /// aligned with `golden`, for tests that need row-level ground truth.
+  std::vector<TablePair> pairs;
+};
+
+/// Deterministic for a given options value.
+SynthCorpus GenerateSynthCorpus(const SynthCorpusOptions& options);
+
+}  // namespace tj
+
+#endif  // TJ_DATAGEN_CORPUS_H_

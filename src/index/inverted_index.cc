@@ -43,11 +43,23 @@ void IndexRowRange(const Column& column, size_t begin, size_t end, size_t n0,
 NgramInvertedIndex NgramInvertedIndex::Build(const Column& column, size_t n0,
                                              size_t nmax, bool lowercase,
                                              int num_threads) {
+  const int resolved = ResolveNumThreads(num_threads);
+  if (resolved == 1 || column.size() < 2 || InParallelFor()) {
+    return Build(column, n0, nmax, lowercase, static_cast<ThreadPool*>(nullptr));
+  }
+  ThreadPool pool(static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(resolved), column.size())));
+  return Build(column, n0, nmax, lowercase, &pool);
+}
+
+NgramInvertedIndex NgramInvertedIndex::Build(const Column& column, size_t n0,
+                                             size_t nmax, bool lowercase,
+                                             ThreadPool* pool) {
   NgramInvertedIndex index;
   index.num_rows_ = column.size();
-  const int resolved = ResolveNumThreads(num_threads);
 
-  if (resolved == 1 || column.size() < 2) {
+  if (pool == nullptr || pool->size() == 1 || column.size() < 2 ||
+      InParallelFor()) {
     IndexRowRange(column, 0, column.size(), n0, nmax, lowercase,
                   &index.postings_);
     return index;
@@ -59,11 +71,10 @@ NgramInvertedIndex NgramInvertedIndex::Build(const Column& column, size_t n0,
   // the merged index is identical to a serial build. One shard per worker
   // (no over-decomposition): unlike coverage, merge cost here grows with
   // the shard count because common grams repeat their keys in every shard.
-  ThreadPool pool(static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(resolved), column.size())));
-  const size_t num_shards = static_cast<size_t>(pool.size());
+  const size_t num_shards =
+      std::min(column.size(), static_cast<size_t>(pool->size()));
   std::vector<Map> shard_maps(num_shards);
-  pool.ParallelFor(column.size(), num_shards,
+  pool->ParallelFor(column.size(), num_shards,
                    [&](int /*worker*/, size_t shard, size_t begin,
                        size_t end) {
                      IndexRowRange(column, begin, end, n0, nmax, lowercase,

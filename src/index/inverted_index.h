@@ -18,6 +18,8 @@
 
 namespace tj {
 
+class ThreadPool;
+
 /// Immutable after Build(). Lookup and Df are O(1) expected.
 class NgramInvertedIndex {
  public:
@@ -32,6 +34,13 @@ class NgramInvertedIndex {
   /// content is identical for every thread count.
   static NgramInvertedIndex Build(const Column& column, size_t n0, size_t nmax,
                                   bool lowercase, int num_threads = 1);
+
+  /// Same build on an externally-owned pool (nullptr = serial). Used when
+  /// one pool is shared across phases or table pairs; constructs no pool of
+  /// its own. Falls back to the serial build when called from inside a
+  /// ParallelFor chunk. Identical index content either way.
+  static NgramInvertedIndex Build(const Column& column, size_t n0, size_t nmax,
+                                  bool lowercase, ThreadPool* pool);
 
   /// Rows containing the n-gram, ascending and deduplicated; empty list for
   /// unseen n-grams.

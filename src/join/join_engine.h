@@ -35,6 +35,11 @@ struct JoinOptions {
   /// seeded) before discovery — the paper samples open data to 3000 pairs.
   size_t sample_pairs = 0;
   uint64_t sample_seed = 42;
+  /// With fewer candidate pairs than this after sampling, discovery and
+  /// the join are skipped entirely (JoinResult reports learning_pairs and
+  /// nothing else) — the corpus driver's cheap way out of unlearnable
+  /// pairs. 0 disables the gate.
+  size_t min_learning_pairs = 0;
 };
 
 struct JoinResult {
@@ -54,7 +59,21 @@ struct JoinResult {
 
 /// Runs the full pipeline on a benchmark table pair and evaluates against
 /// its golden matching.
+///
+/// Threading: when either options.discovery or options.match_options
+/// resolves to more than one thread and neither carries an external pool,
+/// ONE ThreadPool is constructed here and shared by every phase (index
+/// builds, row scan, generation, coverage) instead of each phase spawning
+/// its own short-lived pool.
 JoinResult TransformJoin(const TablePair& pair, const JoinOptions& options);
+
+/// Column-level entry point used by the corpus driver (src/corpus/), where
+/// table pairs have no benchmark golden matching: identical pipeline, with
+/// the golden set optional. `golden` may be nullptr — metrics then stay
+/// zero and MatchingMode::kGolden yields no learning pairs.
+JoinResult TransformJoinColumns(const Column& source, const Column& target,
+                                const PairSet* golden,
+                                const JoinOptions& options);
 
 /// Applies each transformation to every source value and equi-joins the
 /// transformed values against the target column (hash join, many-to-many).

@@ -1,12 +1,53 @@
 #include "match/row_matcher.h"
 
+#include <algorithm>
+#include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "text/ngram.h"
 
 namespace tj {
+namespace {
+
+using RscoreMap =
+    std::unordered_map<std::string_view, double, StringHash, StringEq>;
+
+/// Appends the raw candidate occurrence sequence of one source row, in the
+/// exact order the serial Algorithm 1 scan visits it: for each n-gram size
+/// ascending, the representative gram's target posting list. Occurrences are
+/// NOT deduplicated here — duplicates (the same target reached through
+/// several n-gram sizes) must survive so the max_pairs budget check fires at
+/// the same raw occurrence it would in a fused serial scan.
+void CollectRowOccurrences(const Column& source, uint32_t row,
+                           const NgramInvertedIndex& target_index,
+                           const RscoreMap& rscore,
+                           const RowMatchOptions& options,
+                           std::vector<uint32_t>* occurrences) {
+  std::string text = options.lowercase ? ToLowerAscii(source.Get(row))
+                                       : std::string(source.Get(row));
+  for (size_t n = options.n0; n <= options.nmax && n <= text.size(); ++n) {
+    // Representative n-gram of this size: argmax Rscore with a positive
+    // target-side IRF. First occurrence wins ties (deterministic).
+    std::string_view rep;
+    double best = 0.0;
+    ForEachNgram(text, n, [&](std::string_view gram) {
+      const auto it = rscore.find(gram);
+      if (it != rscore.end() && it->second > best) {
+        best = it->second;
+        rep = gram;
+      }
+    });
+    if (rep.empty()) continue;
+    const std::vector<uint32_t>& targets = target_index.Lookup(rep);
+    occurrences->insert(occurrences->end(), targets.begin(), targets.end());
+  }
+}
+
+}  // namespace
 
 double InverseRowFrequency(const NgramInvertedIndex& index,
                            std::string_view gram) {
@@ -24,12 +65,30 @@ double Rscore(const NgramInvertedIndex& source_index,
 RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
                                  const RowMatchOptions& options) {
   RowMatchResult result;
-  const NgramInvertedIndex source_index =
-      NgramInvertedIndex::Build(source, options.n0, options.nmax,
-                                options.lowercase, options.num_threads);
-  const NgramInvertedIndex target_index =
-      NgramInvertedIndex::Build(target, options.n0, options.nmax,
-                                options.lowercase, options.num_threads);
+
+  // One pool serves both index builds and the row scan (previously each
+  // index build spun up its own). Serial when a shared pool was not given
+  // and num_threads resolves to 1, or when this call itself runs inside a
+  // ParallelFor chunk (corpus pair-level fan-out).
+  const int threads = options.pool != nullptr
+                          ? options.pool->size()
+                          : ResolveNumThreads(options.num_threads);
+  // Either column large enough to shard justifies the pool: a one-row
+  // source column must not serialize the target's index build.
+  const bool parallel = threads > 1 &&
+                        (source.size() >= 2 || target.size() >= 2) &&
+                        !InParallelFor();
+  std::optional<PoolRef> pool_ref;
+  ThreadPool* pool = nullptr;
+  if (parallel) {
+    pool_ref.emplace(options.pool, threads);
+    pool = &pool_ref->get();
+  }
+
+  const NgramInvertedIndex source_index = NgramInvertedIndex::Build(
+      source, options.n0, options.nmax, options.lowercase, pool);
+  const NgramInvertedIndex target_index = NgramInvertedIndex::Build(
+      target, options.n0, options.nmax, options.lowercase, pool);
 
   // Precomputed Rscore per distinct source-side gram: one target-index probe
   // per distinct gram, instead of two index probes per gram occurrence in
@@ -41,7 +100,7 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
   // score is the same IRF product Rscore() computes — not an algebraically
   // equivalent division, which could differ in the last ulp and flip the
   // first-occurrence tie-break.
-  std::unordered_map<std::string_view, double, StringHash, StringEq> rscore;
+  RscoreMap rscore;
   rscore.reserve(source_index.num_grams());
   source_index.ForEachGram(
       [&](std::string_view gram, const std::vector<uint32_t>& rows) {
@@ -51,39 +110,62 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
                                  target_irf);
       });
 
-  PairSet emitted;
+  // Row scan. The expensive part — finding each row's representative grams —
+  // is embarrassingly parallel; the cheap budget/dedup bookkeeping below is
+  // a serial merge in row order, so the emitted pair list (including where
+  // a max_pairs budget cuts it off) is identical to the serial scan. The
+  // parallel path computes every row's occurrences even when a budget stops
+  // the merge early; callers that cap aggressively on huge inputs should
+  // prefer one thread for the scan.
+  std::vector<std::vector<uint32_t>> per_row;
+  if (parallel) {
+    per_row.resize(source.size());
+    pool->ParallelFor(source.size(),
+                      static_cast<size_t>(pool->size()) * 4,
+                      [&](int /*worker*/, size_t /*chunk*/, size_t begin,
+                          size_t end) {
+                        for (size_t row = begin; row < end; ++row) {
+                          CollectRowOccurrences(
+                              source, static_cast<uint32_t>(row), target_index,
+                              rscore, options, &per_row[row]);
+                        }
+                      });
+  }
+
+  // Merge in row order, replaying the serial scan's emission semantics:
+  // budget check before every raw occurrence (duplicates included), per-row
+  // dedup (cross-row duplicates are impossible — the source row is part of
+  // the pair), rows never scanned after exhaustion are not counted as
+  // unmatched.
+  std::vector<uint32_t> occurrences;
+  std::unordered_set<uint32_t> seen_targets;
   bool budget_exhausted = false;
-  for (uint32_t row = 0; row < source.size(); ++row) {
-    std::string text = options.lowercase ? ToLowerAscii(source.Get(row))
-                                         : std::string(source.Get(row));
+  for (uint32_t row = 0; row < source.size() && !budget_exhausted; ++row) {
+    const std::vector<uint32_t>* row_occurrences;
+    if (parallel) {
+      row_occurrences = &per_row[row];
+    } else {
+      occurrences.clear();
+      CollectRowOccurrences(source, row, target_index, rscore, options,
+                            &occurrences);
+      row_occurrences = &occurrences;
+    }
     bool any = false;
-    for (size_t n = options.n0; n <= options.nmax && n <= text.size(); ++n) {
-      // Representative n-gram of this size: argmax Rscore with a positive
-      // target-side IRF. First occurrence wins ties (deterministic).
-      std::string_view rep;
-      double best = 0.0;
-      ForEachNgram(text, n, [&](std::string_view gram) {
-        const auto it = rscore.find(gram);
-        if (it != rscore.end() && it->second > best) {
-          best = it->second;
-          rep = gram;
-        }
-      });
-      if (rep.empty()) continue;
-      for (uint32_t target_row : target_index.Lookup(rep)) {
-        if (options.max_pairs != 0 &&
-            emitted.size() >= options.max_pairs) {
-          budget_exhausted = true;
-          break;
-        }
-        if (emitted.Add(RowPair{row, target_row})) any = true;
+    seen_targets.clear();
+    for (uint32_t target_row : *row_occurrences) {
+      if (options.max_pairs != 0 &&
+          result.pairs.size() >= options.max_pairs) {
+        budget_exhausted = true;
+        break;
       }
-      if (budget_exhausted) break;
+      if (seen_targets.insert(target_row).second) {
+        result.pairs.push_back(RowPair{row, target_row});
+        any = true;
+      }
     }
     if (budget_exhausted) break;
     if (!any) ++result.unmatched_source_rows;
   }
-  result.pairs = emitted.pairs();
   return result;
 }
 

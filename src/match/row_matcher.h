@@ -17,6 +17,8 @@
 
 namespace tj {
 
+class ThreadPool;
+
 struct RowMatchOptions {
   /// Representative n-gram sizes [n0, nmax]. The paper tunes n0 = 4 and
   /// nmax = 20 (§6.2).
@@ -30,10 +32,17 @@ struct RowMatchOptions {
   /// budget is exhausted the scan stops entirely; rows never scanned are not
   /// counted as unmatched.
   size_t max_pairs = 0;
-  /// Worker threads for building the two n-gram inverted indexes (0 =
-  /// hardware concurrency, 1 = serial). Index content and the emitted pairs
-  /// are identical across thread counts.
+  /// Worker threads for building the two n-gram inverted indexes and for
+  /// the representative-gram row scan (0 = hardware concurrency, 1 =
+  /// serial). Index content and the emitted pairs — including the
+  /// max_pairs-capped emission order — are identical across thread counts.
   int num_threads = 1;
+
+  /// Optional externally-owned pool shared by the index builds and the row
+  /// scan (and across pairs at corpus scale). Overrides num_threads when
+  /// set; a call already running inside a chunk of this pool falls back to
+  /// the serial scan with identical results.
+  ThreadPool* pool = nullptr;
 };
 
 /// IRF(t, c) = 1 / (number of rows of column c containing t); 0 when t does

@@ -7,10 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/discovery.h"
 #include "core/example.h"
 #include "datagen/synth.h"
 #include "index/inverted_index.h"
+#include "join/join_engine.h"
 #include "match/row_matcher.h"
 
 namespace tj {
@@ -161,6 +163,39 @@ TEST(ParallelDiscovery, ZeroMeansHardwareConcurrency) {
   ExpectIdenticalCounters(a.stats, b.stats);
 }
 
+TEST(DiscoveryStatsTimes, WallClockPhasesAndCpuCounters) {
+  // time_* fields are wall clock per phase at EVERY thread count (PR 1
+  // summed worker seconds into them instead); cpu_* carries the summed
+  // per-worker seconds. Wall-phase intervals nest inside the total, so
+  // their sum is bounded by it; small epsilon for clock jitter.
+  const std::vector<ExamplePair> rows = SynthRows(48, 13);
+  for (int threads : {1, 4}) {
+    DiscoveryOptions options;
+    options.num_threads = threads;
+    const DiscoveryResult result = DiscoverTransformations(rows, options);
+    const DiscoveryStats& s = result.stats;
+
+    const double wall_sum = s.time_placeholder_gen + s.time_unit_extraction +
+                            s.time_duplicate_removal + s.time_apply +
+                            s.time_solution;
+    EXPECT_LE(wall_sum, s.time_total + 1e-3) << threads << " threads";
+    EXPECT_GT(s.time_apply, 0.0) << threads << " threads";
+    EXPECT_GT(s.time_placeholder_gen + s.time_unit_extraction +
+                  s.time_duplicate_removal,
+              0.0)
+        << threads << " threads";
+
+    // Worker-second ledger: populated for every phase that did work, and
+    // cpu_total is exactly the sum of its phases.
+    EXPECT_GT(s.cpu_apply, 0.0) << threads << " threads";
+    EXPECT_GT(s.cpu_placeholder_gen, 0.0) << threads << " threads";
+    const double cpu_sum = s.cpu_placeholder_gen + s.cpu_unit_extraction +
+                           s.cpu_duplicate_removal + s.cpu_apply +
+                           s.cpu_solution;
+    EXPECT_DOUBLE_EQ(s.cpu_total, cpu_sum) << threads << " threads";
+  }
+}
+
 TEST(ParallelIndexBuild, IdenticalPostingsAcrossThreadCounts) {
   const SynthDataset ds = GenerateSynth(SynthN(60, 19));
   const Column& column = ds.pair.SourceColumn();
@@ -197,6 +232,32 @@ TEST(ParallelRowMatch, PairsIdenticalAcrossThreadCounts) {
     EXPECT_EQ(result.pairs[i], base.pairs[i]);
   }
   EXPECT_EQ(result.unmatched_source_rows, base.unmatched_source_rows);
+}
+
+TEST(SharedPool, TransformJoinConstructsExactlyOnePool) {
+  // A parallel TransformJoin shares ONE pool across its index builds, row
+  // scan, generation, and coverage (it used to spawn one per phase); a
+  // serial join constructs none. Results match the serial run either way.
+  const SynthDataset ds = GenerateSynth(SynthN(40, 17));
+  JoinOptions serial_options;
+  const uint64_t before_serial = ThreadPool::TotalCreated();
+  const JoinResult serial = TransformJoin(ds.pair, serial_options);
+  EXPECT_EQ(ThreadPool::TotalCreated() - before_serial, 0u);
+
+  JoinOptions parallel_options;
+  parallel_options.discovery.num_threads = 4;
+  parallel_options.match_options.num_threads = 4;
+  const uint64_t before_parallel = ThreadPool::TotalCreated();
+  const JoinResult parallel = TransformJoin(ds.pair, parallel_options);
+  EXPECT_EQ(ThreadPool::TotalCreated() - before_parallel, 1u);
+
+  ASSERT_EQ(parallel.joined.size(), serial.joined.size());
+  for (size_t i = 0; i < serial.joined.size(); ++i) {
+    EXPECT_EQ(parallel.joined[i], serial.joined[i]);
+  }
+  EXPECT_EQ(parallel.applied_transformations,
+            serial.applied_transformations);
+  EXPECT_EQ(parallel.learning_pairs, serial.learning_pairs);
 }
 
 TEST(RowMatcher, MaxPairsEmitsPrefixOfUnlimitedScan) {
