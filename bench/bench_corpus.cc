@@ -1,13 +1,17 @@
 // Corpus-scale discovery benchmark: sketch-pruned CorpusDiscovery vs. the
-// brute-force all-pairs baseline on a generated synthetic corpus. Reports
-// the pruning ratio, end-to-end wall time, and evaluated-pairs throughput,
-// and (with --json PATH, or BENCH_corpus.json by default under --json)
-// emits a machine-readable record so CI can track the perf trajectory.
+// brute-force all-pairs baseline on a generated synthetic corpus, plus the
+// incremental-maintenance comparison — the cost of folding one new table
+// into a live IncrementalPairPruner (O(N) scores) vs. rebuilding the
+// shortlist from scratch (O(N^2)) — measured at half and full corpus size
+// so the scaling exponent is visible. Reports the pruning ratio, wall
+// times, and pairs/s, and (with --json PATH) emits a machine-readable
+// record so CI can track the perf trajectory.
 //
 // Environment: TJ_BENCH_SCALE scales the corpus size (1.0 = 10 joinable
 // pairs + 4 noise tables at 40 rows); TJ_NUM_THREADS sets the pair-level
 // thread count (0 = all cores).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +23,7 @@
 #include "common/timer.h"
 #include "corpus/catalog.h"
 #include "corpus/corpus_discovery.h"
+#include "corpus/pair_pruner.h"
 #include "datagen/corpus.h"
 
 namespace {
@@ -53,6 +58,77 @@ RunOutcome Run(const tj::SynthCorpus& corpus,
   for (const tj::CorpusPairResult& pair : result.results) {
     outcome.joined_rows += pair.joined_rows;
     if (!pair.transformations.empty()) ++outcome.pairs_with_rules;
+  }
+  return outcome;
+}
+
+struct IncrementalOutcome {
+  size_t tables = 0;          // catalog size before the add
+  size_t scored_pairs = 0;    // column pairs scored by the incremental add
+  double add_seconds = 0.0;   // sketch + incremental rescoring + snapshot
+  size_t rebuild_pairs = 0;   // column pairs a from-scratch rebuild scores
+  double rebuild_seconds = 0.0;
+};
+
+/// Adds one fresh table to a live catalog of `corpus`'s tables and measures
+/// the incremental fold-in against a from-scratch ShortlistPairs. Verifies
+/// the two shortlists are bit-identical (the incremental contract) before
+/// reporting the costs.
+IncrementalOutcome MeasureIncrementalAdd(const tj::SynthCorpus& corpus,
+                                         const tj::Table& extra) {
+  tj::TableCatalog catalog;
+  for (const tj::Table& table : corpus.tables) {
+    auto added = catalog.AddTable(table);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  catalog.ComputeSignatures();
+  const tj::PairPrunerOptions pruner_options;
+  tj::IncrementalPairPruner pruner(pruner_options);
+  pruner.Rebuild(catalog);
+
+  IncrementalOutcome outcome;
+  outcome.tables = catalog.num_tables();
+
+  tj::Stopwatch add_watch;
+  auto id = catalog.AddTable(extra);
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    std::exit(1);
+  }
+  catalog.ComputeSignatures();  // sketches only the new table
+  pruner.OnTableAdded(catalog, *id);
+  const tj::PairPrunerResult incremental = pruner.Snapshot();
+  outcome.add_seconds = add_watch.ElapsedSeconds();
+  outcome.scored_pairs = pruner.last_scored_pairs();
+
+  tj::Stopwatch rebuild_watch;
+  const tj::PairPrunerResult scratch =
+      tj::ShortlistPairs(catalog, pruner_options);
+  outcome.rebuild_seconds = rebuild_watch.ElapsedSeconds();
+  outcome.rebuild_pairs = scratch.total_pairs;
+
+  if (incremental.shortlist.size() != scratch.shortlist.size() ||
+      incremental.total_pairs != scratch.total_pairs ||
+      incremental.pruned_pairs != scratch.pruned_pairs) {
+    std::fprintf(stderr,
+                 "incremental shortlist diverges from rebuild (%zu/%zu vs "
+                 "%zu/%zu)\n",
+                 incremental.shortlist.size(), incremental.total_pairs,
+                 scratch.shortlist.size(), scratch.total_pairs);
+    std::exit(1);
+  }
+  for (size_t i = 0; i < scratch.shortlist.size(); ++i) {
+    if (!(incremental.shortlist[i].a == scratch.shortlist[i].a) ||
+        !(incremental.shortlist[i].b == scratch.shortlist[i].b) ||
+        incremental.shortlist[i].score != scratch.shortlist[i].score ||
+        incremental.shortlist[i].a_is_source !=
+            scratch.shortlist[i].a_is_source) {
+      std::fprintf(stderr, "incremental shortlist diverges at rank %zu\n", i);
+      std::exit(1);
+    }
   }
   return outcome;
 }
@@ -125,6 +201,57 @@ int main(int argc, char** argv) {
   std::printf("speedup vs brute force: %.2fx\n",
               pruned.seconds > 0 ? brute.seconds / pruned.seconds : 0.0);
 
+  // Incremental maintenance: fold one new table into a live shortlist at
+  // half and full corpus size. Incremental scored pairs grow ~linearly with
+  // corpus size; the from-scratch rebuild grows quadratically.
+  SynthCorpusOptions half_options = corpus_options;
+  half_options.num_joinable_pairs =
+      std::max<size_t>(1, corpus_options.num_joinable_pairs / 2);
+  half_options.num_noise_tables = corpus_options.num_noise_tables / 2;
+  const SynthCorpus half_corpus = GenerateSynthCorpus(half_options);
+
+  SynthCorpusOptions extra_options;
+  extra_options.num_joinable_pairs = 1;
+  extra_options.num_noise_tables = 0;
+  extra_options.rows = corpus_options.rows;
+  extra_options.seed = corpus_options.seed + 1;
+  extra_options.name_prefix = "inc";
+  const SynthCorpus extra = GenerateSynthCorpus(extra_options);
+
+  const IncrementalOutcome inc_half =
+      MeasureIncrementalAdd(half_corpus, extra.tables[0]);
+  const IncrementalOutcome inc_full =
+      MeasureIncrementalAdd(corpus, extra.tables[0]);
+
+  TablePrinter inc_printer({"corpus tables", "incr pairs scored",
+                            "incr time", "rebuild pairs", "rebuild time",
+                            "score work saved"});
+  auto add_inc_row = [&](const IncrementalOutcome& o) {
+    inc_printer.AddRow(
+        {StrPrintf("%zu", o.tables), StrPrintf("%zu", o.scored_pairs),
+         FormatSeconds(o.add_seconds), StrPrintf("%zu", o.rebuild_pairs),
+         FormatSeconds(o.rebuild_seconds),
+         StrPrintf("%.1fx", o.scored_pairs > 0
+                                ? static_cast<double>(o.rebuild_pairs) /
+                                      static_cast<double>(o.scored_pairs)
+                                : 0.0)});
+  };
+  std::printf("\nincremental add of one table vs from-scratch rebuild:\n");
+  add_inc_row(inc_half);
+  add_inc_row(inc_full);
+  inc_printer.Print();
+  std::printf(
+      "scored-pair growth half->full: incremental %.2fx, rebuild %.2fx "
+      "(O(N) vs O(N^2))\n",
+      inc_half.scored_pairs > 0
+          ? static_cast<double>(inc_full.scored_pairs) /
+                static_cast<double>(inc_half.scored_pairs)
+          : 0.0,
+      inc_half.rebuild_pairs > 0
+          ? static_cast<double>(inc_full.rebuild_pairs) /
+                static_cast<double>(inc_half.rebuild_pairs)
+          : 0.0);
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -144,7 +271,18 @@ int main(int argc, char** argv) {
         "  \"pairs_per_second\": %.3f,\n"
         "  \"bruteforce_seconds\": %.6f,\n"
         "  \"bruteforce_pairs\": %zu,\n"
-        "  \"speedup_vs_bruteforce\": %.3f\n"
+        "  \"speedup_vs_bruteforce\": %.3f,\n"
+        "  \"incremental_half_tables\": %zu,\n"
+        "  \"incremental_half_scored_pairs\": %zu,\n"
+        "  \"incremental_half_add_seconds\": %.6f,\n"
+        "  \"incremental_half_rebuild_pairs\": %zu,\n"
+        "  \"incremental_half_rebuild_seconds\": %.6f,\n"
+        "  \"incremental_full_tables\": %zu,\n"
+        "  \"incremental_full_scored_pairs\": %zu,\n"
+        "  \"incremental_full_add_seconds\": %.6f,\n"
+        "  \"incremental_full_rebuild_pairs\": %zu,\n"
+        "  \"incremental_full_rebuild_seconds\": %.6f,\n"
+        "  \"incremental_pairs_per_second\": %.3f\n"
         "}\n",
         corpus.tables.size(), pruned.total_pairs,
         ResolveNumThreads(num_threads), pruned.pruning_ratio,
@@ -153,7 +291,15 @@ int main(int argc, char** argv) {
             ? static_cast<double>(pruned.evaluated_pairs) / pruned.seconds
             : 0.0,
         brute.seconds, brute.evaluated_pairs,
-        pruned.seconds > 0 ? brute.seconds / pruned.seconds : 0.0);
+        pruned.seconds > 0 ? brute.seconds / pruned.seconds : 0.0,
+        inc_half.tables, inc_half.scored_pairs, inc_half.add_seconds,
+        inc_half.rebuild_pairs, inc_half.rebuild_seconds, inc_full.tables,
+        inc_full.scored_pairs, inc_full.add_seconds, inc_full.rebuild_pairs,
+        inc_full.rebuild_seconds,
+        inc_full.add_seconds > 0
+            ? static_cast<double>(inc_full.scored_pairs) /
+                  inc_full.add_seconds
+            : 0.0);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -13,13 +13,18 @@
 #include "benchlib/report.h"
 #include "benchlib/suite.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace tj {
 namespace {
 
 void Run() {
   std::printf("== Table 1: Row matching performance ==\n");
-  const std::vector<BenchDataset> suite = BuildSuite(SuiteOptionsFromEnv());
+  const SuiteOptions options = SuiteOptionsFromEnv();
+  const std::vector<BenchDataset> suite = BuildSuite(options);
+  // One pool for the whole bench: every dataset fans out per pair on it
+  // (metrics are identical at any thread count; only Time moves).
+  ThreadPool pool(options.num_threads);
   TablePrinter table({"Dataset", "#Rows", "Avg Len.", "#Pairs", "P", "R",
                       "F1", "Time"});
   for (const BenchDataset& dataset : suite) {
@@ -30,8 +35,11 @@ void Run() {
     std::vector<double> recall;
     std::vector<double> f1;
     double seconds = 0.0;
-    for (const TablePair& pair : dataset.tables) {
-      const RowMatchEval eval = EvaluateRowMatching(pair, dataset.match);
+    const std::vector<RowMatchEval> evals =
+        EvaluateRowMatchingAll(dataset, &pool);
+    for (size_t i = 0; i < evals.size(); ++i) {
+      const TablePair& pair = dataset.tables[i];
+      const RowMatchEval& eval = evals[i];
       rows.push_back(static_cast<double>(pair.SourceColumn().size()));
       avg_len.push_back(pair.SourceColumn().AverageLength());
       pairs.push_back(static_cast<double>(eval.pairs));

@@ -11,12 +11,13 @@
 #include "benchlib/report.h"
 #include "benchlib/suite.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace tj {
 namespace {
 
 void RunPanel(const std::vector<BenchDataset>& suite, MatchingMode matching,
-              const char* title) {
+              ThreadPool* pool, const char* title) {
   std::printf("-- %s --\n", title);
   TablePrinter table({"Dataset", "Generated trans.", "Trans. to try",
                       "Duplicate trans.", "Cache hit ratio"});
@@ -25,8 +26,8 @@ void RunPanel(const std::vector<BenchDataset>& suite, MatchingMode matching,
     std::vector<double> unique;
     std::vector<double> dup_ratio;
     std::vector<double> hit_ratio;
-    for (const TablePair& pair : dataset.tables) {
-      const DiscoveryEval eval = EvaluateDiscovery(pair, dataset, matching);
+    for (const DiscoveryEval& eval :
+         EvaluateDiscoveryAll(dataset, matching, pool)) {
       generated.push_back(
           static_cast<double>(eval.stats.generated_transformations));
       unique.push_back(static_cast<double>(eval.stats.unique_transformations));
@@ -44,9 +45,11 @@ void RunPanel(const std::vector<BenchDataset>& suite, MatchingMode matching,
 
 void Run() {
   std::printf("== Table 4: Pruning performance ==\n\n");
-  const std::vector<BenchDataset> suite = BuildSuite(SuiteOptionsFromEnv());
-  RunPanel(suite, MatchingMode::kNgram, "N-gram row matching");
-  RunPanel(suite, MatchingMode::kGolden, "Golden row matching");
+  const SuiteOptions options = SuiteOptionsFromEnv();
+  const std::vector<BenchDataset> suite = BuildSuite(options);
+  ThreadPool pool(options.num_threads);
+  RunPanel(suite, MatchingMode::kNgram, &pool, "N-gram row matching");
+  RunPanel(suite, MatchingMode::kGolden, &pool, "Golden row matching");
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   corpus_discovery_tool <csv-dir> [--threads N] [--min-containment F]
 //                         [--max-candidates N] [--support F] [--top K]
 //                         [--signatures cache.tj] [--out results.csv]
+//                         [--add FILE]... [--remove NAME]... [--update FILE]...
 //   corpus_discovery_tool --gen <dir> [--tables N] [--rows N] [--seed S]
 //   corpus_discovery_tool --selftest
 //
@@ -11,22 +12,32 @@
 // sketches the columns, prunes the column-pair space with the MinHash
 // signatures, runs the full per-pair pipeline over the ranked shortlist on
 // one shared thread pool, and prints the ranked results. With --signatures,
-// the sketch cache is reloaded from / persisted to that file, so repeated
-// runs over a large repository skip the sketching pass. --gen writes a
+// the sketch cache is reloaded from / persisted to that file; the v2 cache
+// format carries per-table content fingerprints, so entries for tables that
+// changed on disk self-invalidate and only those tables are re-sketched —
+// repeated runs over a mutating repository stay incremental.
+//
+// --add/--remove/--update apply catalog maintenance on top of the loaded
+// directory through the incremental pruner: each op rescores only the
+// touched table's column pairs (O(N) in catalog size) instead of rebuilding
+// the whole shortlist, and prints the per-op scoring cost. --gen writes a
 // synthetic demo corpus (joinable pairs + noise tables) to a directory;
-// --selftest generates a tiny corpus in memory, runs end-to-end on two
-// threads, and exits non-zero unless every golden pair is found (used as a
-// ctest smoke test).
+// --selftest runs a set of named end-to-end checks on an in-memory corpus,
+// prints each failing check by name, and exits with the number of failed
+// checks (used as a ctest smoke test).
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "benchlib/report.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "corpus/catalog.h"
 #include "corpus/corpus_discovery.h"
+#include "corpus/pair_pruner.h"
 #include "datagen/corpus.h"
 #include "table/csv.h"
 
@@ -38,12 +49,16 @@ int Usage(const char* argv0) {
       "usage: %s <csv-dir> [--threads N] [--min-containment F]\n"
       "          [--max-candidates N] [--support F] [--top K]\n"
       "          [--signatures cache.tj] [--out results.csv]\n"
+      "          [--add FILE]... [--remove NAME]... [--update FILE]...\n"
       "       %s --gen <dir> [--tables N] [--rows N] [--seed S]\n"
       "       %s --selftest\n"
       "  --threads N: pair-level worker threads (0 = all cores, default)\n"
       "  --min-containment F: sketch containment pruning floor "
       "(default 0.05; 0 = brute force)\n"
-      "  --signatures F: load/save the column sketch cache\n",
+      "  --signatures F: load/save the column sketch cache (v2: stale\n"
+      "      entries self-invalidate via per-table fingerprints)\n"
+      "  --add F / --remove NAME / --update F: incremental catalog\n"
+      "      maintenance; only the touched table's pairs are rescored\n",
       argv0, argv0, argv0);
   return 2;
 }
@@ -86,34 +101,47 @@ int GenerateDemoCorpus(const std::string& dir, size_t tables, size_t rows,
   return 0;
 }
 
-int SelfTest() {
+// ---------------------------------------------------------------------------
+// --selftest: named end-to-end checks. Each check prints its own failure
+// detail; the driver prints a per-check verdict line so a ctest log
+// pinpoints exactly which guarantee regressed.
+// ---------------------------------------------------------------------------
+
+tj::SynthCorpus SelfTestCorpus() {
   tj::SynthCorpusOptions corpus_options;
   corpus_options.num_joinable_pairs = 4;
   corpus_options.num_noise_tables = 2;
   corpus_options.rows = 30;
   corpus_options.seed = 5;
-  const tj::SynthCorpus corpus = tj::GenerateSynthCorpus(corpus_options);
+  return tj::GenerateSynthCorpus(corpus_options);
+}
 
-  tj::TableCatalog catalog;
+bool BuildSelfTestCatalog(const tj::SynthCorpus& corpus,
+                          tj::TableCatalog* catalog) {
   for (const tj::Table& table : corpus.tables) {
-    auto added = catalog.AddTable(table);
+    auto added = catalog->AddTable(table);
     if (!added.ok()) {
-      std::fprintf(stderr, "selftest: %s\n", added.status().ToString().c_str());
-      return 1;
+      std::fprintf(stderr, "  %s\n", added.status().ToString().c_str());
+      return false;
     }
   }
+  return true;
+}
 
-  tj::CorpusDiscoveryOptions options;
-  options.num_threads = 2;
-  const tj::CorpusDiscoveryResult result =
-      tj::DiscoverJoinableColumns(&catalog, options);
-  std::printf("%s", result.Describe(catalog).c_str());
-
+/// Pruning + golden recall of the end-to-end pipeline (the original smoke
+/// check, split so failures name the broken half).
+bool CheckPruningRatio(const tj::CorpusDiscoveryResult& result) {
   if (result.PruningRatio() < 0.5) {
-    std::fprintf(stderr, "selftest: expected >= 50%% pruning, got %.1f%%\n",
+    std::fprintf(stderr, "  expected >= 50%% pruning, got %.1f%%\n",
                  100.0 * result.PruningRatio());
-    return 1;
+    return false;
   }
+  return true;
+}
+
+bool CheckGoldenJoins(const tj::SynthCorpus& corpus,
+                      const tj::CorpusDiscoveryResult& result) {
+  bool ok = true;
   for (const auto& golden : corpus.golden) {
     bool found = false;
     for (const tj::CorpusPairResult& pair : result.results) {
@@ -128,16 +156,171 @@ int SelfTest() {
       }
     }
     if (!found) {
-      std::fprintf(stderr, "selftest: golden pair %s <-> %s not joined\n",
+      std::fprintf(stderr, "  golden pair %s <-> %s not joined\n",
                    corpus.tables[golden.source_table].name().c_str(),
                    corpus.tables[golden.target_table].name().c_str());
-      return 1;
+      ok = false;
     }
+  }
+  return ok;
+}
+
+/// Incremental add/remove must match a from-scratch shortlist rebuild.
+bool CheckIncrementalEquivalence(const tj::SynthCorpus& corpus) {
+  tj::TableCatalog catalog;
+  if (!BuildSelfTestCatalog(corpus, &catalog)) return false;
+  catalog.ComputeSignatures();
+  const tj::PairPrunerOptions pruner_options;
+  tj::IncrementalPairPruner pruner(pruner_options);
+  pruner.Rebuild(catalog);
+
+  // Add a table from a differently-prefixed corpus, remove one original.
+  tj::SynthCorpusOptions extra_options;
+  extra_options.num_joinable_pairs = 1;
+  extra_options.num_noise_tables = 0;
+  extra_options.rows = 30;
+  extra_options.seed = 99;
+  extra_options.name_prefix = "inc";
+  const tj::SynthCorpus extra = tj::GenerateSynthCorpus(extra_options);
+
+  auto added = catalog.AddTable(extra.tables[0]);
+  if (!added.ok()) {
+    std::fprintf(stderr, "  %s\n", added.status().ToString().c_str());
+    return false;
+  }
+  catalog.ComputeSignatures();
+  pruner.OnTableAdded(catalog, *added);
+
+  const std::string removed_name = corpus.tables[0].name();
+  auto removed_id = catalog.TableIndex(removed_name);
+  if (!removed_id.ok() || !catalog.RemoveTable(removed_name).ok()) {
+    std::fprintf(stderr, "  cannot remove %s\n", removed_name.c_str());
+    return false;
+  }
+  pruner.OnTableRemoved(*removed_id);
+
+  const tj::PairPrunerResult incremental = pruner.Snapshot();
+  const tj::PairPrunerResult scratch =
+      tj::ShortlistPairs(catalog, pruner_options);
+  if (incremental.total_pairs != scratch.total_pairs ||
+      incremental.pruned_pairs != scratch.pruned_pairs ||
+      incremental.shortlist.size() != scratch.shortlist.size()) {
+    std::fprintf(stderr,
+                 "  totals diverge: incremental %zu/%zu/%zu vs scratch "
+                 "%zu/%zu/%zu\n",
+                 incremental.total_pairs, incremental.pruned_pairs,
+                 incremental.shortlist.size(), scratch.total_pairs,
+                 scratch.pruned_pairs, scratch.shortlist.size());
+    return false;
+  }
+  for (size_t i = 0; i < scratch.shortlist.size(); ++i) {
+    const tj::ColumnPairCandidate& x = incremental.shortlist[i];
+    const tj::ColumnPairCandidate& y = scratch.shortlist[i];
+    if (!(x.a == y.a) || !(x.b == y.b) || x.score != y.score ||
+        x.a_is_source != y.a_is_source) {
+      std::fprintf(stderr, "  shortlist diverges at rank %zu\n", i);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The v2 signature cache must round-trip, and a stale entry (table content
+/// changed since the cache was written) must self-invalidate on reload.
+bool CheckCacheInvalidation(const tj::SynthCorpus& corpus) {
+  tj::TableCatalog catalog;
+  if (!BuildSelfTestCatalog(corpus, &catalog)) return false;
+  catalog.ComputeSignatures();
+  const std::string dump = catalog.SerializeSignatures();
+
+  tj::TableCatalog reloaded;
+  if (!BuildSelfTestCatalog(corpus, &reloaded)) return false;
+  const tj::Status loaded = reloaded.LoadSignatures(dump);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "  round-trip load failed: %s\n",
+                 loaded.ToString().c_str());
+    return false;
+  }
+  for (const tj::ColumnRef ref : reloaded.AllColumns()) {
+    if (!reloaded.HasSignature(ref)) {
+      std::fprintf(stderr, "  round-trip left a column unsigned\n");
+      return false;
+    }
+  }
+
+  // Mutate one table: its cache block must be skipped on reload.
+  tj::TableCatalog stale;
+  if (!BuildSelfTestCatalog(corpus, &stale)) return false;
+  tj::Table mutated = corpus.tables[0];
+  mutated.mutable_column(0).Set(0, "mutated-cell-value");
+  if (!stale.UpdateTable(std::move(mutated)).ok()) {
+    std::fprintf(stderr, "  UpdateTable failed\n");
+    return false;
+  }
+  const tj::Status stale_load = stale.LoadSignatures(dump);
+  if (!stale_load.ok()) {
+    std::fprintf(stderr, "  stale load should skip, not fail: %s\n",
+                 stale_load.ToString().c_str());
+    return false;
+  }
+  auto mutated_id = stale.TableIndex(corpus.tables[0].name());
+  if (!mutated_id.ok()) return false;
+  if (stale.HasSignature(tj::ColumnRef{*mutated_id, 0})) {
+    std::fprintf(stderr,
+                 "  stale sketch was served for a mutated table\n");
+    return false;
+  }
+
+  // Malformed input fails closed.
+  if (stale.LoadSignatures("# tj-signatures v2\ngarbage\n").ok()) {
+    std::fprintf(stderr, "  malformed dump was accepted\n");
+    return false;
+  }
+  return true;
+}
+
+int SelfTest() {
+  const tj::SynthCorpus corpus = SelfTestCorpus();
+  tj::TableCatalog catalog;
+  if (!BuildSelfTestCatalog(corpus, &catalog)) {
+    std::fprintf(stderr, "selftest: cannot build catalog\n");
+    return 1;
+  }
+  tj::CorpusDiscoveryOptions options;
+  options.num_threads = 2;
+  const tj::CorpusDiscoveryResult result =
+      tj::DiscoverJoinableColumns(&catalog, options);
+  std::printf("%s", result.Describe(catalog).c_str());
+
+  struct Check {
+    const char* name;
+    bool passed;
+  };
+  const Check checks[] = {
+      {"pruning-ratio", CheckPruningRatio(result)},
+      {"golden-joins", CheckGoldenJoins(corpus, result)},
+      {"incremental-equivalence", CheckIncrementalEquivalence(corpus)},
+      {"cache-invalidation", CheckCacheInvalidation(corpus)},
+  };
+  int failed = 0;
+  for (const Check& check : checks) {
+    std::printf("selftest check %-26s %s\n", check.name,
+                check.passed ? "OK" : "FAIL");
+    if (!check.passed) ++failed;
+  }
+  if (failed != 0) {
+    std::fprintf(stderr, "selftest: %d check(s) failed\n", failed);
+    return failed;
   }
   std::printf("selftest: OK (%zu pairs evaluated, %.1f%% pruned)\n",
               result.results.size(), 100.0 * result.PruningRatio());
   return 0;
 }
+
+struct MaintenanceOp {
+  enum Kind { kAdd, kRemove, kUpdate } kind;
+  std::string arg;  // CSV path for add/update, table name for remove
+};
 
 }  // namespace
 
@@ -174,6 +357,7 @@ int main(int argc, char** argv) {
   size_t top = 20;
   std::string signatures_path;
   std::string out_path;
+  std::vector<MaintenanceOp> ops;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.num_threads = std::atoi(argv[++i]);
@@ -195,6 +379,12 @@ int main(int argc, char** argv) {
       signatures_path = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--add") == 0 && i + 1 < argc) {
+      ops.push_back({MaintenanceOp::kAdd, argv[++i]});
+    } else if (std::strcmp(argv[i], "--remove") == 0 && i + 1 < argc) {
+      ops.push_back({MaintenanceOp::kRemove, argv[++i]});
+    } else if (std::strcmp(argv[i], "--update") == 0 && i + 1 < argc) {
+      ops.push_back({MaintenanceOp::kUpdate, argv[++i]});
     } else {
       return Usage(argv[0]);
     }
@@ -207,11 +397,8 @@ int main(int argc, char** argv) {
                  loaded_dir.ToString().c_str());
     return 1;
   }
-  if (catalog.num_tables() < 2) {
-    std::fprintf(stderr, "%s holds %zu table(s); need at least 2\n",
-                 dir.c_str(), catalog.num_tables());
-    return 1;
-  }
+  // The 2-table floor is checked after the --add/--remove/--update ops run:
+  // an --add may bootstrap a 1-table directory into a valid catalog.
   std::printf("catalog: %zu tables, %zu columns\n", catalog.num_tables(),
               catalog.num_columns());
 
@@ -227,8 +414,75 @@ int main(int argc, char** argv) {
     }
   }
 
-  const CorpusDiscoveryResult result =
-      DiscoverJoinableColumns(&catalog, options);
+  CorpusDiscoveryResult result;
+  if (ops.empty()) {
+    if (catalog.num_tables() < 2) {
+      std::fprintf(stderr, "%s holds %zu table(s); need at least 2\n",
+                   dir.c_str(), catalog.num_tables());
+      return 1;
+    }
+    result = DiscoverJoinableColumns(&catalog, options);
+  } else {
+    // Incremental flow: build the shortlist once, then fold each
+    // maintenance op in by rescoring only the touched table's pairs.
+    ThreadPool pool(options.num_threads);
+    catalog.ComputeSignatures(&pool);
+    IncrementalPairPruner pruner(options.pruner);
+    pruner.Rebuild(catalog, &pool);
+    for (const MaintenanceOp& op : ops) {
+      if (op.kind == MaintenanceOp::kRemove) {
+        auto id = catalog.TableIndex(op.arg);
+        if (!id.ok() || !catalog.RemoveTable(op.arg).ok()) {
+          std::fprintf(stderr, "--remove %s: no such table\n",
+                       op.arg.c_str());
+          return 1;
+        }
+        pruner.OnTableRemoved(*id);
+        std::printf("removed %s (no rescoring)\n", op.arg.c_str());
+        continue;
+      }
+      auto table = ReadCsvFile(op.arg);
+      if (!table.ok()) {
+        std::fprintf(stderr, "%s: %s\n", op.arg.c_str(),
+                     table.status().ToString().c_str());
+        return 1;
+      }
+      table->set_name(std::filesystem::path(op.arg).stem().string());
+      if (op.kind == MaintenanceOp::kAdd) {
+        auto id = catalog.AddTable(*std::move(table));
+        if (!id.ok()) {
+          std::fprintf(stderr, "--add %s: %s\n", op.arg.c_str(),
+                       id.status().ToString().c_str());
+          return 1;
+        }
+        catalog.ComputeSignatures(&pool);
+        pruner.OnTableAdded(catalog, *id, &pool);
+        std::printf("added %s: scored %zu column pairs\n", op.arg.c_str(),
+                    pruner.last_scored_pairs());
+      } else {
+        auto id = catalog.UpdateTable(*std::move(table));
+        if (!id.ok()) {
+          std::fprintf(stderr, "--update %s: %s\n", op.arg.c_str(),
+                       id.status().ToString().c_str());
+          return 1;
+        }
+        catalog.ComputeSignatures(&pool);
+        pruner.OnTableUpdated(catalog, *id, &pool);
+        std::printf("updated %s: rescored %zu column pairs\n",
+                    op.arg.c_str(), pruner.last_scored_pairs());
+      }
+    }
+    if (catalog.num_tables() < 2) {
+      std::fprintf(stderr,
+                   "catalog holds %zu table(s) after maintenance ops; need "
+                   "at least 2\n",
+                   catalog.num_tables());
+      return 1;
+    }
+    // Reuse the maintenance pool so the whole incremental run — sketches,
+    // rescoring, and the pair-level fan-out — stays on exactly one pool.
+    result = EvaluateShortlist(catalog, pruner.Snapshot(), options, &pool);
+  }
 
   if (!signatures_path.empty()) {
     const Status saved = catalog.SaveSignaturesToFile(signatures_path);

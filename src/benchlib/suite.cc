@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/discovery.h"
 #include "core/example.h"
@@ -206,6 +207,68 @@ AutoJoinEval EvaluateAutoJoin(const TablePair& pair,
   eval.seconds = result.seconds;
   eval.timed_out = result.timed_out;
   return eval;
+}
+
+namespace {
+
+/// Copy of a dataset's configuration without its tables, with the shared
+/// pool plumbed into the per-pair options. The full-struct copy (tables
+/// included, then cleared) costs one transient deep copy per dataset-level
+/// call — accepted deliberately so a future BenchDataset field can never be
+/// silently dropped here. Leaves caller-provided pools alone when no
+/// fan-out pool is given.
+BenchDataset ConfigWithPool(const BenchDataset& config, ThreadPool* pool) {
+  BenchDataset cfg = config;
+  cfg.tables.clear();
+  if (pool != nullptr) {
+    cfg.discovery.pool = pool;
+    cfg.match.pool = pool;
+  }
+  return cfg;
+}
+
+/// Per-pair fan-out shared by the three dataset runners: one chunk per
+/// pair, each writing its own slot of the result vector.
+template <typename Eval, typename Fn>
+std::vector<Eval> RunPerPair(const std::vector<TablePair>& pairs,
+                             ThreadPool* pool, const Fn& fn) {
+  std::vector<Eval> results(pairs.size());
+  if (pool != nullptr && pool->size() > 1 && pairs.size() > 1 &&
+      !InParallelFor()) {
+    pool->ParallelFor(pairs.size(), pairs.size(),
+                      [&](int /*worker*/, size_t /*chunk*/, size_t begin,
+                          size_t end) {
+                        for (size_t i = begin; i < end; ++i) {
+                          results[i] = fn(pairs[i]);
+                        }
+                      });
+  } else {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      results[i] = fn(pairs[i]);
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<RowMatchEval> EvaluateRowMatchingAll(const BenchDataset& config,
+                                                 ThreadPool* pool) {
+  RowMatchOptions match = config.match;
+  if (pool != nullptr) match.pool = pool;
+  return RunPerPair<RowMatchEval>(
+      config.tables, pool,
+      [&](const TablePair& pair) { return EvaluateRowMatching(pair, match); });
+}
+
+std::vector<DiscoveryEval> EvaluateDiscoveryAll(const BenchDataset& config,
+                                                MatchingMode matching,
+                                                ThreadPool* pool) {
+  const BenchDataset cfg = ConfigWithPool(config, pool);
+  return RunPerPair<DiscoveryEval>(
+      config.tables, pool, [&](const TablePair& pair) {
+        return EvaluateDiscovery(pair, cfg, matching);
+      });
 }
 
 double Mean(const std::vector<double>& values) {

@@ -18,6 +18,8 @@
 
 namespace tj {
 
+class ThreadPool;
+
 /// One benchmark dataset: a set of table pairs evaluated together (means are
 /// reported across pairs, as in the paper).
 struct BenchDataset {
@@ -108,6 +110,30 @@ AutoJoinEval EvaluateAutoJoin(const TablePair& pair,
 std::vector<ExamplePair> LearningPairs(const TablePair& pair,
                                        const BenchDataset& config,
                                        MatchingMode matching);
+
+// ---------------------------------------------------------------------------
+// Dataset-level runners: evaluate every table pair of a dataset, fanning
+// out per pair on one shared pool (one chunk per pair; each pair writes its
+// own slot, so results are identical for every pool size — pair costs vary,
+// so the ticket scheduler balances). The pool is also plumbed into each
+// pair's match/discovery options: a pair evaluated inside the fan-out
+// degrades its inner phases to the serial path (InParallelFor), while a
+// single-pair dataset hands the whole pool to the inner phases instead.
+// With pool == nullptr these are exactly the sequential per-pair loops the
+// table benches always ran. Timing fields (`seconds`, stats time_*/cpu_*)
+// vary run to run; every other field is deterministic
+// (tests/benchlib_test.cc asserts this at 1/2/4/8 threads).
+//
+// EvaluateAutoJoin deliberately has no *All variant: Auto-Join runs under
+// a per-table wall budget, so fanning it out would let scheduling skew
+// what each pair accomplishes inside its cap — keep it sequential.
+// ---------------------------------------------------------------------------
+
+std::vector<RowMatchEval> EvaluateRowMatchingAll(const BenchDataset& config,
+                                                 ThreadPool* pool = nullptr);
+std::vector<DiscoveryEval> EvaluateDiscoveryAll(const BenchDataset& config,
+                                                MatchingMode matching,
+                                                ThreadPool* pool = nullptr);
 
 /// Simple mean helper for per-dataset aggregation.
 double Mean(const std::vector<double>& values);

@@ -137,9 +137,23 @@ class LineCursor {
   size_t pos_ = 0;
 };
 
-constexpr std::string_view kSignatureHeader = "# tj-signatures v1";
+constexpr std::string_view kSignatureHeaderV1 = "# tj-signatures v1";
+constexpr std::string_view kSignatureHeaderV2 = "# tj-signatures v2";
 
 }  // namespace
+
+uint64_t TableFingerprint(const Table& table) {
+  uint64_t h = HashCombine(0x746a636174ULL /* "tjcat" */,
+                           table.num_columns());
+  for (const Column& column : table.columns()) {
+    h = HashCombine(h, HashString(column.name()));
+    h = HashCombine(h, column.size());
+    for (size_t row = 0; row < column.size(); ++row) {
+      h = HashCombine(h, HashString(column.Get(row)));
+    }
+  }
+  return h;
+}
 
 Result<uint32_t> TableCatalog::AddTable(Table table) {
   if (table.name().empty()) {
@@ -151,9 +165,40 @@ Result<uint32_t> TableCatalog::AddTable(Table table) {
   const auto id = static_cast<uint32_t>(tables_.size());
   TableEntry entry;
   entry.signatures.resize(table.num_columns());
+  entry.fingerprint = TableFingerprint(table);
   entry.table = std::move(table);
   table_index_.emplace(entry.table.name(), id);
   tables_.push_back(std::move(entry));
+  ++num_live_;
+  return id;
+}
+
+Status TableCatalog::RemoveTable(std::string_view name) {
+  const auto it = table_index_.find(name);
+  if (it == table_index_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  TableEntry& entry = tables_[it->second];
+  entry.table = Table();
+  entry.signatures.clear();
+  entry.fingerprint = 0;
+  entry.live = false;
+  table_index_.erase(it);
+  --num_live_;
+  return Status::OK();
+}
+
+Result<uint32_t> TableCatalog::UpdateTable(Table table) {
+  const auto it = table_index_.find(table.name());
+  if (it == table_index_.end()) {
+    return Status::NotFound("no table named '" + table.name() +
+                            "' to update");
+  }
+  const uint32_t id = it->second;
+  TableEntry& entry = tables_[id];
+  entry.signatures.assign(table.num_columns(), std::nullopt);
+  entry.fingerprint = TableFingerprint(table);
+  entry.table = std::move(table);
   return id;
 }
 
@@ -189,6 +234,7 @@ Status TableCatalog::AddCsvDirectory(const std::string& dir,
 
 const Table& TableCatalog::table(uint32_t t) const {
   TJ_CHECK(t < tables_.size());
+  TJ_CHECK(tables_[t].live);
   return tables_[t].table;
 }
 
@@ -200,10 +246,16 @@ Result<uint32_t> TableCatalog::TableIndex(std::string_view name) const {
   return it->second;
 }
 
+uint64_t TableCatalog::fingerprint(uint32_t t) const {
+  TJ_CHECK(t < tables_.size());
+  TJ_CHECK(tables_[t].live);
+  return tables_[t].fingerprint;
+}
+
 size_t TableCatalog::num_columns() const {
   size_t total = 0;
   for (const TableEntry& entry : tables_) {
-    total += entry.table.num_columns();
+    if (entry.live) total += entry.table.num_columns();
   }
   return total;
 }
@@ -212,6 +264,7 @@ std::vector<ColumnRef> TableCatalog::AllColumns() const {
   std::vector<ColumnRef> refs;
   refs.reserve(num_columns());
   for (uint32_t t = 0; t < tables_.size(); ++t) {
+    if (!tables_[t].live) continue;
     for (uint32_t c = 0; c < tables_[t].table.num_columns(); ++c) {
       refs.push_back(ColumnRef{t, c});
     }
@@ -221,12 +274,14 @@ std::vector<ColumnRef> TableCatalog::AllColumns() const {
 
 const Column& TableCatalog::column(ColumnRef ref) const {
   TJ_CHECK(ref.table < tables_.size());
+  TJ_CHECK(tables_[ref.table].live);
   return tables_[ref.table].table.column(ref.column);
 }
 
 void TableCatalog::ComputeSignatures(ThreadPool* pool) {
   std::vector<ColumnRef> missing;
   for (uint32_t t = 0; t < tables_.size(); ++t) {
+    if (!tables_[t].live) continue;
     for (uint32_t c = 0; c < tables_[t].table.num_columns(); ++c) {
       if (!tables_[t].signatures[c].has_value()) {
         missing.push_back(ColumnRef{t, c});
@@ -259,6 +314,7 @@ void TableCatalog::ComputeSignatures(ThreadPool* pool) {
 
 bool TableCatalog::HasSignature(ColumnRef ref) const {
   TJ_CHECK(ref.table < tables_.size());
+  TJ_CHECK(tables_[ref.table].live);
   TJ_CHECK(ref.column < tables_[ref.table].signatures.size());
   return tables_[ref.table].signatures[ref.column].has_value();
 }
@@ -269,7 +325,7 @@ const ColumnSignature& TableCatalog::signature(ColumnRef ref) const {
 }
 
 std::string TableCatalog::SerializeSignatures() const {
-  std::string out(kSignatureHeader);
+  std::string out(kSignatureHeaderV2);
   out += "\n";
   out += StrPrintf("options ngram=%llu hashes=%llu seed=%llu lowercase=%d\n",
                    static_cast<unsigned long long>(options_.ngram),
@@ -277,13 +333,15 @@ std::string TableCatalog::SerializeSignatures() const {
                    static_cast<unsigned long long>(options_.seed),
                    options_.lowercase ? 1 : 0);
   for (const TableEntry& entry : tables_) {
+    if (!entry.live) continue;
     bool any = false;
     for (const auto& sig : entry.signatures) {
       if (sig.has_value()) any = true;
     }
     if (!any) continue;
-    out += StrPrintf("table '%s'\n",
-                     EscapeForDisplay(entry.table.name()).c_str());
+    out += StrPrintf("table '%s' fp=%llu\n",
+                     EscapeForDisplay(entry.table.name()).c_str(),
+                     static_cast<unsigned long long>(entry.fingerprint));
     for (size_t c = 0; c < entry.signatures.size(); ++c) {
       const auto& sig = entry.signatures[c];
       if (!sig.has_value()) continue;
@@ -308,9 +366,17 @@ std::string TableCatalog::SerializeSignatures() const {
 Status TableCatalog::LoadSignatures(std::string_view text) {
   // Parse into a staging list first so a malformed dump installs nothing.
   std::vector<std::pair<ColumnRef, ColumnSignature>> staged;
-  std::optional<uint32_t> current_table;
-  bool saw_header = false;
+  constexpr uint32_t kNoTable = ~0u;
+  uint32_t current_table = kNoTable;
+  int version = 0;       // 0 = header not seen yet
   bool saw_options = false;
+  // v2: true while inside a table block whose sketches must be discarded
+  // (unknown table or stale fingerprint). Lines are still syntax-checked.
+  bool skipping_block = false;
+  // Whether the most recent column line (staged or skipped) is still
+  // waiting for its minhash line.
+  bool column_pending = false;
+  ColumnSignature skipped_sig;  // throwaway target inside skipped blocks
 
   size_t line_no = 0;
   size_t pos = 0;
@@ -328,9 +394,14 @@ Status TableCatalog::LoadSignatures(std::string_view text) {
 
     line = TrimAscii(line);
     if (line.empty()) continue;
-    if (!saw_header) {
-      if (line != kSignatureHeader) return fail("missing tj-signatures header");
-      saw_header = true;
+    if (version == 0) {
+      if (line == kSignatureHeaderV1) {
+        version = 1;
+      } else if (line == kSignatureHeaderV2) {
+        version = 2;
+      } else {
+        return fail("missing tj-signatures header");
+      }
       continue;
     }
     if (line[0] == '#') continue;
@@ -360,23 +431,44 @@ Status TableCatalog::LoadSignatures(std::string_view text) {
     if (!saw_options) return fail("expected options line first");
 
     if (cursor.ConsumeWord("table")) {
+      if (column_pending) return fail("previous column missing its minhash");
       auto name = cursor.ParseQuoted();
       if (!name.ok()) return fail(name.status().message());
+      std::optional<uint64_t> recorded_fp;
+      if (version >= 2) {
+        if (!cursor.ConsumeKey("fp")) return fail("expected fp=");
+        auto fp = cursor.ParseU64();
+        if (!fp.ok()) return fail(fp.status().message());
+        recorded_fp = *fp;
+      }
       auto index = TableIndex(*name);
-      if (!index.ok()) return fail(index.status().message());
+      if (!index.ok()) {
+        // v2 entries for tables this catalog no longer has are stale, not
+        // fatal: skip the block. v1 has no way to tell stale from typo, so
+        // it fails closed.
+        if (version >= 2) {
+          skipping_block = true;
+          current_table = kNoTable;
+          continue;
+        }
+        return fail(index.status().message());
+      }
+      if (recorded_fp.has_value() &&
+          *recorded_fp != tables_[*index].fingerprint) {
+        // Stale v2 entry: the table's content changed since the cache was
+        // written. Self-invalidate — the sketches will be recomputed.
+        skipping_block = true;
+        current_table = kNoTable;
+        continue;
+      }
+      skipping_block = false;
       current_table = *index;
       continue;
     }
     if (cursor.ConsumeWord("column")) {
-      if (!current_table.has_value()) return fail("column before any table");
+      if (column_pending) return fail("previous column missing its minhash");
       auto name = cursor.ParseQuoted();
       if (!name.ok()) return fail(name.status().message());
-      const Table& owner = tables_[*current_table].table;
-      auto col = owner.ColumnIndex(*name);
-      if (!col.ok()) {
-        return fail("table '" + owner.name() + "' has no column '" + *name +
-                    "'");
-      }
       ColumnSignature sig;
       sig.ngram = options_.ngram;
       sig.seed = options_.seed;
@@ -404,19 +496,34 @@ Status TableCatalog::LoadSignatures(std::string_view text) {
       auto charset = cursor.ParseU64();
       if (!charset.ok()) return fail(charset.status().message());
       sig.charset_mask = static_cast<uint32_t>(*charset);
-      if (sig.num_rows != column(ColumnRef{*current_table,
-                                           static_cast<uint32_t>(*col)})
-                              .size()) {
+      if (skipping_block) {
+        skipped_sig = std::move(sig);
+        column_pending = true;
+        continue;
+      }
+      if (current_table == kNoTable) {
+        return fail("column before any table");
+      }
+      const uint32_t owner_id = current_table;
+      const Table& owner = tables_[owner_id].table;
+      auto col = owner.ColumnIndex(*name);
+      if (!col.ok()) {
+        return fail("table '" + owner.name() + "' has no column '" + *name +
+                    "'");
+      }
+      if (sig.num_rows !=
+          column(ColumnRef{owner_id, static_cast<uint32_t>(*col)}).size()) {
         return fail("row count disagrees with the catalog table");
       }
-      staged.emplace_back(
-          ColumnRef{*current_table, static_cast<uint32_t>(*col)},
-          std::move(sig));
+      staged.emplace_back(ColumnRef{owner_id, static_cast<uint32_t>(*col)},
+                          std::move(sig));
+      column_pending = true;
       continue;
     }
     if (cursor.ConsumeWord("minhash")) {
-      if (staged.empty()) return fail("minhash before any column");
-      ColumnSignature& sig = staged.back().second;
+      if (!column_pending) return fail("minhash before any column");
+      ColumnSignature& sig =
+          skipping_block ? skipped_sig : staged.back().second;
       if (!sig.minhash.empty()) return fail("duplicate minhash line");
       sig.minhash.reserve(options_.num_hashes);
       while (!cursor.AtEnd()) {
@@ -428,12 +535,18 @@ Status TableCatalog::LoadSignatures(std::string_view text) {
         return fail(StrPrintf("expected %zu minhash slots, got %zu",
                               options_.num_hashes, sig.minhash.size()));
       }
+      column_pending = false;
       continue;
     }
     return fail("unrecognized line");
   }
-  if (!saw_header) {
+  if (version == 0) {
     return Status::InvalidArgument("signatures: missing tj-signatures header");
+  }
+  if (column_pending) {
+    return Status::InvalidArgument(
+        "signatures: truncated dump — last column is missing its minhash "
+        "line");
   }
   for (const auto& [ref, sig] : staged) {
     if (sig.minhash.size() != options_.num_hashes) {

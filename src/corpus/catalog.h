@@ -4,6 +4,12 @@
 // — optionally in parallel on a shared ThreadPool — and serializable, so a
 // repository's sketches are built once and reloaded across runs (the same
 // persist-and-transfer idea core/serialization applies to learned rules).
+//
+// The catalog is a *live* structure: tables can be added, removed, and
+// updated after the initial load. Table ids are stable handles — removal
+// tombstones the slot instead of shifting later ids, so ColumnRefs held by
+// an IncrementalPairPruner (pair_pruner.h) stay valid across maintenance
+// operations and only the touched table's signatures are ever recomputed.
 
 #ifndef TJ_CORPUS_CATALOG_H_
 #define TJ_CORPUS_CATALOG_H_
@@ -40,37 +46,69 @@ struct ColumnRef {
   }
 };
 
+/// Order-sensitive content hash of a table: column count, column names, and
+/// every cell. Keys the v2 signature cache, so a reloaded sketch is only
+/// trusted when the table's bytes are unchanged since it was written.
+uint64_t TableFingerprint(const Table& table);
+
 class TableCatalog {
  public:
   explicit TableCatalog(SignatureOptions options = SignatureOptions())
       : options_(options) {}
 
-  /// Registers a table. Fails on an empty or duplicate table name (names
-  /// key the serialized signature cache, so they must be unique).
+  /// Registers a table and returns its stable id. Fails on an empty or
+  /// duplicate table name (names key the serialized signature cache, so
+  /// live tables must be unique). Ids are never reused: re-adding a name
+  /// after RemoveTable allocates a fresh slot, so relative id order always
+  /// matches registration order — the property incremental maintenance
+  /// relies on for shortlists identical to a from-scratch build.
   Result<uint32_t> AddTable(Table table);
+
+  /// Tombstones the named table: its id stays allocated (table()/column()
+  /// on it TJ_CHECK-fail), its signatures are dropped, and its name becomes
+  /// reusable. O(1) — no other table is touched.
+  Status RemoveTable(std::string_view name);
+
+  /// Replaces the same-named live table's contents in place (same id) and
+  /// invalidates its cached signatures and fingerprint. Only the touched
+  /// table is ever re-sketched by the next ComputeSignatures. Returns the
+  /// (unchanged) table id.
+  Result<uint32_t> UpdateTable(Table table);
 
   /// Registers every `*.csv` file of a directory (non-recursive), in
   /// filename order, as a table named after the file stem.
   Status AddCsvDirectory(const std::string& dir,
                          const CsvOptions& csv = CsvOptions());
 
-  size_t num_tables() const { return tables_.size(); }
+  /// Live (non-removed) table count.
+  size_t num_tables() const { return num_live_; }
+  /// Allocated id slots, including tombstones; valid ids are [0, num_slots).
+  size_t num_slots() const { return tables_.size(); }
+  /// False for ids tombstoned by RemoveTable.
+  bool IsLive(uint32_t t) const {
+    return t < tables_.size() && tables_[t].live;
+  }
+  /// Requires IsLive(t) (TJ_CHECK).
   const Table& table(uint32_t t) const;
   Result<uint32_t> TableIndex(std::string_view name) const;
 
-  /// Total column count across tables.
+  /// Content fingerprint of a live table (computed at Add/Update time).
+  uint64_t fingerprint(uint32_t t) const;
+
+  /// Total column count across live tables.
   size_t num_columns() const;
-  /// Every column in catalog order (table-major).
+  /// Every live column in catalog order (table-major).
   std::vector<ColumnRef> AllColumns() const;
   const Column& column(ColumnRef ref) const;
 
   const SignatureOptions& signature_options() const { return options_; }
 
-  /// Ensures every column's signature is cached. Columns still missing one
-  /// are computed — in parallel over columns when `pool` is given (each
+  /// Ensures every live column's signature is cached. Columns still missing
+  /// one are computed — in parallel over columns when `pool` is given (each
   /// column's signature depends only on that column, so results are
   /// identical for every pool size). Idempotent; previously computed or
-  /// loaded signatures are never recomputed.
+  /// loaded signatures are never recomputed, so after an AddTable or
+  /// UpdateTable only the touched table is sketched.
   void ComputeSignatures(ThreadPool* pool = nullptr);
 
   bool HasSignature(ColumnRef ref) const;
@@ -78,14 +116,25 @@ class TableCatalog {
   const ColumnSignature& signature(ColumnRef ref) const;
 
   /// Serializes every cached signature, keyed by table/column name, in a
-  /// line-based text format ("# tj-signatures v1"). Tables and columns
-  /// without a cached signature are omitted.
+  /// line-based text format ("# tj-signatures v2"). Each table line carries
+  /// the table's content fingerprint so a reloading catalog can detect
+  /// stale entries. Tables and columns without a cached signature are
+  /// omitted.
   std::string SerializeSignatures() const;
 
   /// Parses a SerializeSignatures dump and installs the signatures on the
-  /// matching columns of this catalog. Fails (without partial installs) on
-  /// malformed input, unknown table/column names, or sketch parameters that
-  /// disagree with this catalog's SignatureOptions.
+  /// matching columns of this catalog.
+  ///
+  /// v2 dumps self-invalidate: a table block whose name is unknown here or
+  /// whose recorded fingerprint disagrees with the current table content is
+  /// skipped (still syntax-checked), so stale sketches are silently dropped
+  /// and recomputed by the next ComputeSignatures instead of being served.
+  ///
+  /// v1-era dumps (no fingerprints) are accepted for migration but fail
+  /// closed: any disagreement — unknown table or column name, row-count
+  /// drift, malformed or truncated input, sketch parameters that differ
+  /// from this catalog's SignatureOptions — is an error and installs
+  /// nothing, forcing a rescan. Saving after a v1 load writes v2.
   Status LoadSignatures(std::string_view text);
 
   Status SaveSignaturesToFile(const std::string& path) const;
@@ -95,10 +144,13 @@ class TableCatalog {
   struct TableEntry {
     Table table;
     std::vector<std::optional<ColumnSignature>> signatures;
+    uint64_t fingerprint = 0;
+    bool live = true;
   };
 
   SignatureOptions options_;
   std::vector<TableEntry> tables_;
+  size_t num_live_ = 0;
   std::unordered_map<std::string, uint32_t, StringHash, StringEq>
       table_index_;
 };

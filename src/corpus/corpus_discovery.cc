@@ -15,13 +15,18 @@ namespace {
 /// single pair (where the inner phases get the whole pool).
 CorpusPairResult EvaluatePair(const TableCatalog& catalog,
                               const ColumnPairCandidate& candidate,
-                              const JoinOptions& join_options) {
+                              const JoinOptions& join_options,
+                              bool use_orientation_hint) {
   CorpusPairResult result;
   result.candidate = candidate;
 
-  const Column& col_a = catalog.column(candidate.a);
-  const Column& col_b = catalog.column(candidate.b);
-  const bool a_is_source = PickSourceColumn(col_a, col_b);
+  // The sketch hint reproduces PickSourceColumn bit-for-bit (mean_length ==
+  // AverageLength), so hinted runs skip the per-pair column rescan.
+  const bool a_is_source =
+      use_orientation_hint
+          ? candidate.a_is_source
+          : PickSourceColumn(catalog.column(candidate.a),
+                             catalog.column(candidate.b));
   result.source = a_is_source ? candidate.a : candidate.b;
   result.target = a_is_source ? candidate.b : candidate.a;
 
@@ -35,6 +40,38 @@ CorpusPairResult EvaluatePair(const TableCatalog& catalog,
   result.top_coverage = joined.discovery.TopCoverageFraction();
   result.transformations = joined.applied_transformations;
   return result;
+}
+
+/// Shared pair-level fan-out: evaluates the shortlist on `pool`, one chunk
+/// per pair, each writing its own shortlist-order slot.
+void EvaluateShortlistOnPool(const TableCatalog& catalog,
+                             const PairPrunerResult& pruned,
+                             const CorpusDiscoveryOptions& options,
+                             ThreadPool* pool,
+                             CorpusDiscoveryResult* result) {
+  result->total_column_pairs = pruned.total_pairs;
+  result->pruned_pairs = pruned.pruned_pairs;
+  if (pruned.shortlist.empty()) return;
+
+  JoinOptions join_options = options.join;
+  join_options.discovery.pool = pool;
+  join_options.match_options.pool = pool;
+  join_options.min_learning_pairs =
+      std::max(join_options.min_learning_pairs, options.min_learning_pairs);
+
+  // One chunk per pair: pair costs vary wildly, so let the ticket scheduler
+  // balance. Each pair writes its own shortlist-order slot — the merged
+  // output never depends on scheduling or thread count.
+  result->results.resize(pruned.shortlist.size());
+  pool->ParallelFor(pruned.shortlist.size(), pruned.shortlist.size(),
+                    [&](int /*worker*/, size_t /*chunk*/, size_t begin,
+                        size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        result->results[i] = EvaluatePair(
+                            catalog, pruned.shortlist[i], join_options,
+                            options.use_orientation_hints);
+                      }
+                    });
 }
 
 }  // namespace
@@ -71,29 +108,20 @@ CorpusDiscoveryResult DiscoverJoinableColumns(
   ThreadPool pool(options.num_threads);
 
   catalog->ComputeSignatures(&pool);
-  PairPrunerResult pruned = ShortlistPairs(*catalog, options.pruner, &pool);
-  result.total_column_pairs = pruned.total_pairs;
-  result.pruned_pairs = pruned.pruned_pairs;
-  if (pruned.shortlist.empty()) return result;
+  const PairPrunerResult pruned =
+      ShortlistPairs(*catalog, options.pruner, &pool);
+  EvaluateShortlistOnPool(*catalog, pruned, options, &pool, &result);
+  return result;
+}
 
-  JoinOptions join_options = options.join;
-  join_options.discovery.pool = &pool;
-  join_options.match_options.pool = &pool;
-  join_options.min_learning_pairs =
-      std::max(join_options.min_learning_pairs, options.min_learning_pairs);
-
-  // One chunk per pair: pair costs vary wildly, so let the ticket scheduler
-  // balance. Each pair writes its own shortlist-order slot — the merged
-  // output never depends on scheduling or thread count.
-  result.results.resize(pruned.shortlist.size());
-  pool.ParallelFor(pruned.shortlist.size(), pruned.shortlist.size(),
-                   [&](int /*worker*/, size_t /*chunk*/, size_t begin,
-                       size_t end) {
-                     for (size_t i = begin; i < end; ++i) {
-                       result.results[i] = EvaluatePair(
-                           *catalog, pruned.shortlist[i], join_options);
-                     }
-                   });
+CorpusDiscoveryResult EvaluateShortlist(const TableCatalog& catalog,
+                                        const PairPrunerResult& shortlist,
+                                        const CorpusDiscoveryOptions& options,
+                                        ThreadPool* pool) {
+  CorpusDiscoveryResult result;
+  PoolRef pool_ref(pool, options.num_threads);
+  EvaluateShortlistOnPool(catalog, shortlist, options, &pool_ref.get(),
+                          &result);
   return result;
 }
 

@@ -45,6 +45,15 @@ struct CorpusDiscoveryOptions {
   /// right after candidate matching — discovery and the equi-join never run
   /// (forwarded into JoinOptions::min_learning_pairs for each pair).
   size_t min_learning_pairs = 1;
+
+  /// Orient each shortlisted pair from its sketch-based hint
+  /// (ColumnPairCandidate::a_is_source, the shorter-units-toward-longer
+  /// heuristic computed from the signatures' mean lengths) instead of
+  /// rescanning both columns with PickSourceColumn. The hint reproduces
+  /// PickSourceColumn's choice exactly — mean_length equals AverageLength —
+  /// so results are identical either way; this just skips the O(rows)
+  /// rescan per pair. Off = legacy column rescan.
+  bool use_orientation_hints = true;
 };
 
 /// Outcome of running the per-pair engine on one shortlisted column pair.
@@ -90,6 +99,19 @@ struct CorpusDiscoveryResult {
 /// repeated runs and serialized sketch caches are honored).
 CorpusDiscoveryResult DiscoverJoinableColumns(
     TableCatalog* catalog, const CorpusDiscoveryOptions& options);
+
+/// Runs the per-pair engine over an externally maintained shortlist — e.g.
+/// an IncrementalPairPruner::Snapshot() after add/remove/update operations
+/// — with the same shared-pool fan-out and shortlist-order output as
+/// DiscoverJoinableColumns (which is exactly this after a from-scratch
+/// ShortlistPairs). Candidates must come from this catalog's pruner so the
+/// refs and orientation hints are valid. Pass the pool that already drove
+/// the incremental maintenance to keep the whole run on one pool; with
+/// `pool == nullptr` a pool of options.num_threads is constructed.
+CorpusDiscoveryResult EvaluateShortlist(const TableCatalog& catalog,
+                                        const PairPrunerResult& shortlist,
+                                        const CorpusDiscoveryOptions& options,
+                                        ThreadPool* pool = nullptr);
 
 }  // namespace tj
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "corpus/signature.h"
 
@@ -23,38 +24,69 @@ struct ChunkOutput {
   size_t considered = 0;
 };
 
+/// Sorts + truncates survivors and fills the result counters; shared by the
+/// one-shot scan and the incremental snapshot so both rank identically.
+PairPrunerResult FinalizeShortlist(std::vector<ColumnPairCandidate> survivors,
+                                   size_t considered,
+                                   const PairPrunerOptions& options) {
+  PairPrunerResult result;
+  result.total_pairs = considered;
+  result.pruned_pairs = considered - survivors.size();
+  std::sort(survivors.begin(), survivors.end(), RankBefore);
+  if (options.max_candidates != 0 &&
+      survivors.size() > options.max_candidates) {
+    survivors.resize(options.max_candidates);
+  }
+  result.shortlist = std::move(survivors);
+  return result;
+}
+
 }  // namespace
+
+bool ScoreColumnPair(const TableCatalog& catalog, ColumnRef a, ColumnRef b,
+                     const PairPrunerOptions& options,
+                     ColumnPairCandidate* out) {
+  const ColumnSignature& sig_a = catalog.signature(a);
+  const ColumnSignature& sig_b = catalog.signature(b);
+  if (sig_a.num_rows < options.min_rows ||
+      sig_b.num_rows < options.min_rows) {
+    return false;
+  }
+  if (options.require_charset_overlap &&
+      (sig_a.charset_mask & sig_b.charset_mask) == 0) {
+    return false;
+  }
+  const double score = EstimateNgramContainment(sig_a, sig_b);
+  if (score < options.min_containment) return false;
+  out->a = a;
+  out->b = b;
+  out->score = score;
+  // mean_length is the exact AverageLength of the column, so this hint
+  // reproduces PickSourceColumn's choice without touching the cells.
+  out->a_is_source = sig_a.mean_length >= sig_b.mean_length;
+  return true;
+}
 
 PairPrunerResult ShortlistPairs(const TableCatalog& catalog,
                                 const PairPrunerOptions& options,
                                 ThreadPool* pool) {
-  PairPrunerResult result;
   const std::vector<ColumnRef> columns = catalog.AllColumns();
   const size_t n = columns.size();
-  if (n < 2) return result;
+  if (n < 2) return PairPrunerResult();
 
   // Evaluates all pairs (columns[i], columns[j]) for i in [begin, end),
   // j > i — cross-table only — appending survivors in catalog order.
   auto scan_rows = [&](size_t begin, size_t end, ChunkOutput* out) {
+    ColumnPairCandidate candidate;
     for (size_t i = begin; i < end; ++i) {
       const ColumnRef a = columns[i];
-      const ColumnSignature& sig_a = catalog.signature(a);
       for (size_t j = i + 1; j < n; ++j) {
         const ColumnRef b = columns[j];
         if (a.table == b.table) continue;  // self-joins are out of scope
         ++out->considered;
-        const ColumnSignature& sig_b = catalog.signature(b);
-        if (sig_a.num_rows < options.min_rows ||
-            sig_b.num_rows < options.min_rows) {
-          continue;
+        if (ScoreColumnPair(catalog, a, b, options, &candidate)) {
+          out->survivors.push_back(candidate);
         }
-        if (options.require_charset_overlap &&
-            (sig_a.charset_mask & sig_b.charset_mask) == 0) {
-          continue;
-        }
-        const double score = EstimateNgramContainment(sig_a, sig_b);
-        if (score < options.min_containment) continue;
-        out->survivors.push_back(ColumnPairCandidate{a, b, score});
       }
     }
   };
@@ -86,15 +118,116 @@ PairPrunerResult ShortlistPairs(const TableCatalog& catalog,
     considered = out.considered;
   }
 
-  result.total_pairs = considered;
-  result.pruned_pairs = considered - survivors.size();
-  std::sort(survivors.begin(), survivors.end(), RankBefore);
-  if (options.max_candidates != 0 &&
-      survivors.size() > options.max_candidates) {
-    survivors.resize(options.max_candidates);
+  return FinalizeShortlist(std::move(survivors), considered, options);
+}
+
+void IncrementalPairPruner::Rebuild(const TableCatalog& catalog,
+                                    ThreadPool* pool) {
+  groups_.clear();
+  tracked_.clear();
+  total_pairs_ = 0;
+  size_t scored = 0;
+  for (uint32_t t = 0; t < catalog.num_slots(); ++t) {
+    if (!catalog.IsLive(t)) continue;
+    OnTableAdded(catalog, t, pool);
+    scored += last_scored_pairs_;
   }
-  result.shortlist = std::move(survivors);
-  return result;
+  last_scored_pairs_ = scored;
+}
+
+void IncrementalPairPruner::OnTableAdded(const TableCatalog& catalog,
+                                         uint32_t table_id,
+                                         ThreadPool* pool) {
+  TJ_CHECK(catalog.IsLive(table_id));
+  TJ_CHECK(tracked_.find(table_id) == tracked_.end());
+
+  const std::vector<uint32_t> partners(tracked_.begin(), tracked_.end());
+  const auto num_new_columns =
+      static_cast<uint32_t>(catalog.table(table_id).num_columns());
+
+  // Scores every column of `table_id` against every column of one partner
+  // table, producing that unordered pair's whole group.
+  auto score_partner = [&](uint32_t partner, Group* group) {
+    ColumnPairCandidate candidate;
+    const auto partner_columns =
+        static_cast<uint32_t>(catalog.table(partner).num_columns());
+    // Catalog order within the group: the lower table id owns `a`.
+    for (uint32_t cn = 0; cn < num_new_columns; ++cn) {
+      for (uint32_t cp = 0; cp < partner_columns; ++cp) {
+        ColumnRef a{table_id, cn};
+        ColumnRef b{partner, cp};
+        if (b < a) std::swap(a, b);
+        ++group->considered;
+        if (ScoreColumnPair(catalog, a, b, options_, &candidate)) {
+          group->survivors.push_back(candidate);
+        }
+      }
+    }
+  };
+
+  std::vector<Group> scored(partners.size());
+  if (pool != nullptr && pool->size() > 1 && partners.size() > 1 &&
+      !InParallelFor()) {
+    // One chunk per few partners; each partner writes its own group slot,
+    // so the merged state never depends on scheduling.
+    pool->ParallelFor(partners.size(),
+                      std::min(partners.size(),
+                               static_cast<size_t>(pool->size()) * 4),
+                      [&](int /*worker*/, size_t /*chunk*/, size_t begin,
+                          size_t end) {
+                        for (size_t i = begin; i < end; ++i) {
+                          score_partner(partners[i], &scored[i]);
+                        }
+                      });
+  } else {
+    for (size_t i = 0; i < partners.size(); ++i) {
+      score_partner(partners[i], &scored[i]);
+    }
+  }
+
+  size_t scored_pairs = 0;
+  for (size_t i = 0; i < partners.size(); ++i) {
+    scored_pairs += scored[i].considered;
+    total_pairs_ += scored[i].considered;
+    const auto key = std::minmax(table_id, partners[i]);
+    groups_.emplace(std::make_pair(key.first, key.second),
+                    std::move(scored[i]));
+  }
+  tracked_.insert(table_id);
+  last_scored_pairs_ = scored_pairs;
+}
+
+void IncrementalPairPruner::OnTableRemoved(uint32_t table_id) {
+  TJ_CHECK(tracked_.erase(table_id) == 1);
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (it->first.first == table_id || it->first.second == table_id) {
+      total_pairs_ -= it->second.considered;
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void IncrementalPairPruner::OnTableUpdated(const TableCatalog& catalog,
+                                           uint32_t table_id,
+                                           ThreadPool* pool) {
+  OnTableRemoved(table_id);
+  OnTableAdded(catalog, table_id, pool);
+}
+
+PairPrunerResult IncrementalPairPruner::Snapshot() const {
+  std::vector<ColumnPairCandidate> survivors;
+  size_t total_survivors = 0;
+  for (const auto& [key, group] : groups_) {
+    total_survivors += group.survivors.size();
+  }
+  survivors.reserve(total_survivors);
+  for (const auto& [key, group] : groups_) {
+    survivors.insert(survivors.end(), group.survivors.begin(),
+                     group.survivors.end());
+  }
+  return FinalizeShortlist(std::move(survivors), total_pairs_, options_);
 }
 
 }  // namespace tj

@@ -14,8 +14,9 @@ namespace {
 constexpr std::string_view kNoiseAlphabet =
     "abcdefghijklmnopqrstuvwxyz0123456789-._ ";
 
-Table MakeNoiseTable(size_t index, size_t rows, Rng* rng) {
-  Table table(StrPrintf("noise%02zu", index));
+Table MakeNoiseTable(const std::string& prefix, size_t index, size_t rows,
+                     Rng* rng) {
+  Table table(StrPrintf("%snoise%02zu", prefix.c_str(), index));
   Column values("value");
   Column ids("id");
   for (size_t r = 0; r < rows; ++r) {
@@ -52,9 +53,10 @@ SynthCorpus GenerateSynthCorpus(const SynthCorpusOptions& options) {
     SynthOptions synth = options.long_rows ? SynthNL(options.rows, pair_seed)
                                            : SynthN(options.rows, pair_seed);
     SynthDataset ds = GenerateSynth(synth);
-    ds.pair.name = StrPrintf("synth%02zu", i);
-    ds.pair.source.set_name(StrPrintf("synth%02zu-src", i));
-    ds.pair.target.set_name(StrPrintf("synth%02zu-tgt", i));
+    const char* prefix = options.name_prefix.c_str();
+    ds.pair.name = StrPrintf("%s%02zu", prefix, i);
+    ds.pair.source.set_name(StrPrintf("%s%02zu-src", prefix, i));
+    ds.pair.target.set_name(StrPrintf("%s%02zu-tgt", prefix, i));
 
     Pending source;
     source.table = ds.pair.source;
@@ -72,9 +74,13 @@ SynthCorpus GenerateSynthCorpus(const SynthCorpusOptions& options) {
 
     corpus.pairs.push_back(std::move(ds.pair));
   }
+  // "noiseNN" under the default prefix (historical names), otherwise
+  // "<prefix>-noiseNN" so merged corpora cannot clash.
+  const std::string noise_prefix =
+      options.name_prefix == "synth" ? "" : options.name_prefix + "-";
   for (size_t i = 0; i < options.num_noise_tables; ++i) {
     Pending noise;
-    noise.table = MakeNoiseTable(i, options.rows, &rng);
+    noise.table = MakeNoiseTable(noise_prefix, i, options.rows, &rng);
     pending.push_back(std::move(noise));
   }
 

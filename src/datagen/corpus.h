@@ -8,6 +8,7 @@
 #define TJ_DATAGEN_CORPUS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "table/table.h"
@@ -26,6 +27,12 @@ struct SynthCorpusOptions {
   /// Use Synth-NL row lengths ([40, 70]) instead of Synth-N ([20, 35]).
   bool long_rows = false;
   uint64_t seed = 1;
+  /// Table-name prefix: joinable tables are "<prefix>NN-src/-tgt", noise
+  /// tables "<prefix>-noiseNN" ("noiseNN" for the default prefix, keeping
+  /// historical names). A second corpus generated with a distinct prefix
+  /// can be merged into the same catalog without name clashes — the
+  /// incremental-maintenance benches add tables this way.
+  std::string name_prefix = "synth";
 };
 
 struct SynthCorpus {

@@ -39,6 +39,12 @@ class Column {
   void Append(std::string value) { values_.push_back(std::move(value)); }
   void Reserve(size_t n) { values_.reserve(n); }
 
+  /// Bounds-checked cell overwrite.
+  void Set(size_t row, std::string value) {
+    TJ_CHECK(row < values_.size());
+    values_[row] = std::move(value);
+  }
+
   /// Mean cell length in characters; 0 for an empty column. The row matcher
   /// uses this to pick the more descriptive column as the source (§4.2.1).
   double AverageLength() const;

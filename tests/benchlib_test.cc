@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <vector>
 
 #include "benchlib/report.h"
 #include "benchlib/suite.h"
+#include "common/thread_pool.h"
 
 namespace tj {
 namespace {
@@ -100,6 +102,72 @@ TEST(Suite, GoldenDiscoveryCoversSynthFully) {
           EvaluateDiscovery(pair, dataset, MatchingMode::kGolden);
       EXPECT_DOUBLE_EQ(eval.cover_coverage, 1.0)
           << dataset.name << "/" << pair.name;
+    }
+  }
+}
+
+TEST(Suite, ParallelPerPairEvaluationIsDeterministic) {
+  // The dataset runners fan out per pair on a shared pool; everything but
+  // wall time must be bit-identical at every thread count (1/2/4/8),
+  // including against the historical sequential loops (pool == nullptr).
+  SuiteOptions options;
+  options.scale = 0.08;
+  options.include_webtables = false;
+  options.include_spreadsheet = false;
+  options.include_opendata = false;  // synth-only keeps this test fast
+  const auto suite = BuildSuite(options);
+  ASSERT_FALSE(suite.empty());
+  const BenchDataset& dataset = suite.front();
+  ASSERT_GT(dataset.tables.size(), 1u);
+
+  const std::vector<RowMatchEval> base_match =
+      EvaluateRowMatchingAll(dataset, nullptr);
+  const std::vector<DiscoveryEval> base_disc =
+      EvaluateDiscoveryAll(dataset, MatchingMode::kNgram, nullptr);
+  ASSERT_EQ(base_match.size(), dataset.tables.size());
+  ASSERT_EQ(base_disc.size(), dataset.tables.size());
+
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    const std::vector<RowMatchEval> match =
+        EvaluateRowMatchingAll(dataset, &pool);
+    ASSERT_EQ(match.size(), base_match.size()) << threads;
+    for (size_t i = 0; i < match.size(); ++i) {
+      EXPECT_EQ(match[i].pairs, base_match[i].pairs) << threads;
+      EXPECT_EQ(match[i].metrics.precision, base_match[i].metrics.precision)
+          << threads;
+      EXPECT_EQ(match[i].metrics.recall, base_match[i].metrics.recall)
+          << threads;
+      EXPECT_EQ(match[i].metrics.f1, base_match[i].metrics.f1) << threads;
+    }
+
+    const std::vector<DiscoveryEval> disc =
+        EvaluateDiscoveryAll(dataset, MatchingMode::kNgram, &pool);
+    ASSERT_EQ(disc.size(), base_disc.size()) << threads;
+    for (size_t i = 0; i < disc.size(); ++i) {
+      EXPECT_EQ(disc[i].top_coverage, base_disc[i].top_coverage) << threads;
+      EXPECT_EQ(disc[i].cover_coverage, base_disc[i].cover_coverage)
+          << threads;
+      EXPECT_EQ(disc[i].num_transformations,
+                base_disc[i].num_transformations)
+          << threads;
+      EXPECT_EQ(disc[i].learning_pairs, base_disc[i].learning_pairs)
+          << threads;
+      // Pipeline counters are exact at every thread count.
+      EXPECT_EQ(disc[i].stats.generated_transformations,
+                base_disc[i].stats.generated_transformations)
+          << threads;
+      EXPECT_EQ(disc[i].stats.unique_transformations,
+                base_disc[i].stats.unique_transformations)
+          << threads;
+      EXPECT_EQ(disc[i].stats.cache_hits, base_disc[i].stats.cache_hits)
+          << threads;
+      EXPECT_EQ(disc[i].stats.full_evaluations,
+                base_disc[i].stats.full_evaluations)
+          << threads;
+      EXPECT_EQ(disc[i].stats.covering_pairs,
+                base_disc[i].stats.covering_pairs)
+          << threads;
     }
   }
 }
