@@ -88,9 +88,13 @@ void Run() {
         static_cast<size_t>(150 * suite_options.scale) < 20
             ? 20
             : static_cast<size_t>(150 * suite_options.scale);
+    // The datasets own the arenas the example-pair views point into, so
+    // they must outlive RunOn.
+    std::vector<SynthDataset> datasets;
     std::vector<std::vector<ExamplePair>> tables;
     for (int i = 0; i < 2; ++i) {
-      const SynthDataset ds = GenerateSynth(SynthN(rows, 51 + i));
+      datasets.push_back(GenerateSynth(SynthN(rows, 51 + i)));
+      const SynthDataset& ds = datasets.back();
       tables.push_back(MakeExamplePairs(ds.pair.SourceColumn(),
                                         ds.pair.TargetColumn(),
                                         ds.pair.golden.pairs()));
@@ -102,8 +106,9 @@ void Run() {
   {
     WebTablesOptions options;
     options.num_pairs = 6;
+    const std::vector<TablePair> pairs = GenerateWebTables(options);
     std::vector<std::vector<ExamplePair>> tables;
-    for (const TablePair& pair : GenerateWebTables(options)) {
+    for (const TablePair& pair : pairs) {
       tables.push_back(MakeExamplePairs(pair.SourceColumn(),
                                         pair.TargetColumn(),
                                         pair.golden.pairs()));

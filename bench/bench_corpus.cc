@@ -18,6 +18,7 @@
 #include <string>
 
 #include "benchlib/report.h"
+#include "benchlib/storage_metrics.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -27,6 +28,20 @@
 #include "datagen/corpus.h"
 
 namespace {
+
+/// Storage-core metrics for the corpus: total column-arena bytes and the
+/// index-build allocation comparison over every column (flat CSR vs the
+/// retained map-based reference builder; see benchlib/storage_metrics.h).
+tj::StorageMetrics MeasureStorage(const tj::SynthCorpus& corpus) {
+  tj::StorageMetrics m;
+  for (const tj::Table& table : corpus.tables) {
+    m.AddCells(table);
+    for (const tj::Column& column : table.columns()) {
+      m.MeasureColumn(column);
+    }
+  }
+  return m;
+}
 
 struct RunOutcome {
   size_t evaluated_pairs = 0;
@@ -180,6 +195,8 @@ int main(int argc, char** argv) {
 
   const RunOutcome pruned = Run(corpus, pruned_options);
   const RunOutcome brute = Run(corpus, brute_options);
+  const StorageMetrics storage = MeasureStorage(corpus);
+  PrintStorageSummary(storage);
 
   TablePrinter printer({"mode", "pairs eval", "pruned %", "seconds",
                         "pairs/s", "joined rows", "pairs w/ rules"});
@@ -282,8 +299,7 @@ int main(int argc, char** argv) {
         "  \"incremental_full_add_seconds\": %.6f,\n"
         "  \"incremental_full_rebuild_pairs\": %zu,\n"
         "  \"incremental_full_rebuild_seconds\": %.6f,\n"
-        "  \"incremental_pairs_per_second\": %.3f\n"
-        "}\n",
+        "  \"incremental_pairs_per_second\": %.3f,\n",
         corpus.tables.size(), pruned.total_pairs,
         ResolveNumThreads(num_threads), pruned.pruning_ratio,
         pruned.evaluated_pairs, pruned.seconds,
@@ -300,6 +316,7 @@ int main(int argc, char** argv) {
             ? static_cast<double>(inc_full.scored_pairs) /
                   inc_full.add_seconds
             : 0.0);
+    WriteStorageJsonTail(f, storage);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -24,6 +24,7 @@ namespace tj {
 namespace {
 
 struct Workload {
+  SynthDataset dataset;  // owns the arenas the example-pair views point into
   std::vector<ExamplePair> rows;
   DiscoveryResult base;  // store + interner generated once, serially
 };
@@ -31,7 +32,8 @@ struct Workload {
 const Workload& CoverageWorkload() {
   static const Workload* workload = [] {
     auto* w = new Workload();
-    const SynthDataset ds = GenerateSynth(SynthN(300, 5));
+    w->dataset = GenerateSynth(SynthN(300, 5));
+    const SynthDataset& ds = w->dataset;
     w->rows = MakeExamplePairs(ds.pair.SourceColumn(),
                                ds.pair.TargetColumn(),
                                ds.pair.golden.pairs());

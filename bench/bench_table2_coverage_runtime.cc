@@ -12,10 +12,20 @@
 // Paper shape: our coverage ~1.00 everywhere, Auto-Join <= 0.45 with runtimes
 // 3-4 orders of magnitude larger (often hitting the time cap).
 
+// With --json PATH the bench additionally writes a machine-readable record:
+// the coverage/runtime summary plus the storage-core metrics — cells-bytes
+// (column arena footprint of the whole suite) and the index-build
+// allocation comparison between the flat CSR build and the retained
+// map-based reference builder (strictly fewer allocations is an asserted
+// property of the refactor; here it is a recorded number).
+
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "benchlib/report.h"
+#include "benchlib/storage_metrics.h"
 #include "benchlib/suite.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -23,8 +33,32 @@
 namespace tj {
 namespace {
 
-void RunPanel(const std::vector<BenchDataset>& suite, MatchingMode matching,
-              ThreadPool* pool, const char* title) {
+/// Per-panel aggregate for the JSON record.
+struct PanelSummary {
+  double mean_top_cov = 0.0;
+  double mean_coverage = 0.0;
+  double seconds = 0.0;
+};
+
+/// Storage-core metrics over the whole suite: arena footprint of every
+/// table, index-build allocation comparison over every join column.
+StorageMetrics MeasureStorage(const std::vector<BenchDataset>& suite) {
+  StorageMetrics m;
+  for (const BenchDataset& dataset : suite) {
+    for (const TablePair& pair : dataset.tables) {
+      m.AddCells(pair.source);
+      m.AddCells(pair.target);
+      m.MeasureColumn(pair.SourceColumn());
+      m.MeasureColumn(pair.TargetColumn());
+    }
+  }
+  return m;
+}
+
+PanelSummary RunPanel(const std::vector<BenchDataset>& suite,
+                      MatchingMode matching, ThreadPool* pool,
+                      const char* title) {
+  PanelSummary summary;
   std::printf("-- %s --\n", title);
   TablePrinter table({"Dataset", "TopCov", "(AJ)", "Coverage", "(AJ)",
                       "#Trans", "(AJ)", "Time", "(AJ Time)"});
@@ -64,12 +98,20 @@ void RunPanel(const std::vector<BenchDataset>& suite, MatchingMode matching,
          StrPrintf("(%.2f)", Mean(aj_ntrans)), FormatSeconds(seconds),
          StrPrintf("(%s%s)", FormatSeconds(aj_seconds).c_str(),
                    aj_any_timeout ? ", capped" : "")});
+    summary.mean_top_cov += Mean(top);
+    summary.mean_coverage += Mean(cover);
+    summary.seconds += seconds;
+  }
+  if (!suite.empty()) {
+    summary.mean_top_cov /= static_cast<double>(suite.size());
+    summary.mean_coverage /= static_cast<double>(suite.size());
   }
   table.Print();
   std::printf("\n");
+  return summary;
 }
 
-void Run() {
+int Run(const std::string& json_path) {
   std::printf("== Table 2: Coverage and runtime, ours vs Auto-Join ==\n");
   std::printf(
       "(Auto-Join runs under a per-table wall budget; 'capped' marks runs "
@@ -77,14 +119,54 @@ void Run() {
   const SuiteOptions options = SuiteOptionsFromEnv();
   const std::vector<BenchDataset> suite = BuildSuite(options);
   ThreadPool pool(options.num_threads);
-  RunPanel(suite, MatchingMode::kNgram, &pool, "N-gram row matching");
-  RunPanel(suite, MatchingMode::kGolden, &pool, "Golden row matching");
+  const PanelSummary ngram =
+      RunPanel(suite, MatchingMode::kNgram, &pool, "N-gram row matching");
+  const PanelSummary golden =
+      RunPanel(suite, MatchingMode::kGolden, &pool, "Golden row matching");
+
+  const StorageMetrics storage = MeasureStorage(suite);
+  PrintStorageSummary(storage);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"benchmark\": \"bench_table2\",\n"
+        "  \"threads\": %d,\n"
+        "  \"scale\": %.3f,\n"
+        "  \"ngram_mean_top_cov\": %.6f,\n"
+        "  \"ngram_mean_coverage\": %.6f,\n"
+        "  \"ngram_seconds\": %.6f,\n"
+        "  \"golden_mean_top_cov\": %.6f,\n"
+        "  \"golden_mean_coverage\": %.6f,\n"
+        "  \"golden_seconds\": %.6f,\n",
+        ResolveNumThreads(options.num_threads), options.scale,
+        ngram.mean_top_cov, ngram.mean_coverage, ngram.seconds,
+        golden.mean_top_cov, golden.mean_coverage, golden.seconds);
+    WriteStorageJsonTail(f, storage);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace tj
 
-int main() {
-  tj::Run();
-  return 0;
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return tj::Run(json_path);
 }

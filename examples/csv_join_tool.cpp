@@ -164,7 +164,7 @@ int main(int argc, char** argv) {
     for (const Column& c : pair.source.columns()) {
       Column out(c.name());
       for (const RowPair& p : result.joined) {
-        out.Append(std::string(c.Get(p.source)));
+        out.Append(c.Get(p.source));
       }
       if (!joined.AddColumn(std::move(out)).ok()) {
         std::fprintf(stderr, "internal error assembling output\n");
@@ -176,7 +176,7 @@ int main(int argc, char** argv) {
       if (joined.FindColumn(name) != nullptr) name = "right." + name;
       Column out(name);
       for (const RowPair& p : result.joined) {
-        out.Append(std::string(c.Get(p.target)));
+        out.Append(c.Get(p.target));
       }
       if (!joined.AddColumn(std::move(out)).ok()) {
         std::fprintf(stderr, "internal error assembling output\n");

@@ -1,0 +1,57 @@
+#include "benchlib/storage_metrics.h"
+
+#include "index/inverted_index.h"
+#include "index/reference_postings.h"
+
+namespace tj {
+
+void StorageMetrics::MeasureColumn(const Column& column) {
+  const AllocCounters before_csr = CurrentAllocCounters();
+  const NgramInvertedIndex index =
+      NgramInvertedIndex::Build(column, 4, 20, /*lowercase=*/true, 1);
+  const AllocCounters after_csr = CurrentAllocCounters();
+  csr.allocs += (after_csr - before_csr).allocs;
+  csr.bytes += (after_csr - before_csr).bytes;
+  index_total_postings += index.TotalPostings();
+  index_memory_bytes += index.MemoryBytes();
+
+  const AllocCounters before_ref = CurrentAllocCounters();
+  const ReferencePostingsMap reference_map =
+      BuildReferencePostings(column, 4, 20, /*lowercase=*/true);
+  const AllocCounters after_ref = CurrentAllocCounters();
+  reference.allocs += (after_ref - before_ref).allocs;
+  reference.bytes += (after_ref - before_ref).bytes;
+}
+
+void PrintStorageSummary(const StorageMetrics& m) {
+  std::printf(
+      "storage: cells %zu bytes; index build %llu allocs / %llu bytes "
+      "(reference map builder: %llu allocs / %llu bytes)%s\n",
+      m.cells_bytes, static_cast<unsigned long long>(m.csr.allocs),
+      static_cast<unsigned long long>(m.csr.bytes),
+      static_cast<unsigned long long>(m.reference.allocs),
+      static_cast<unsigned long long>(m.reference.bytes),
+      AllocCountingAvailable() ? "" : " [alloc hooks not linked]");
+}
+
+void WriteStorageJsonTail(std::FILE* f, const StorageMetrics& m) {
+  std::fprintf(
+      f,
+      "  \"cells_bytes\": %zu,\n"
+      "  \"index_total_postings\": %zu,\n"
+      "  \"index_memory_bytes\": %zu,\n"
+      "  \"alloc_counting_available\": %s,\n"
+      "  \"index_build_allocs\": %llu,\n"
+      "  \"index_build_bytes_allocated\": %llu,\n"
+      "  \"index_build_allocs_reference\": %llu,\n"
+      "  \"index_build_bytes_allocated_reference\": %llu\n"
+      "}\n",
+      m.cells_bytes, m.index_total_postings, m.index_memory_bytes,
+      AllocCountingAvailable() ? "true" : "false",
+      static_cast<unsigned long long>(m.csr.allocs),
+      static_cast<unsigned long long>(m.csr.bytes),
+      static_cast<unsigned long long>(m.reference.allocs),
+      static_cast<unsigned long long>(m.reference.bytes));
+}
+
+}  // namespace tj

@@ -1,0 +1,45 @@
+// Storage-core measurement shared by the allocation-reporting benches
+// (bench_table2, bench_corpus): column arena footprint plus the index-build
+// allocation comparison — flat CSR build vs the retained map-based
+// reference builder (index/reference_postings.h) — double-built over the
+// same columns with the same n-gram range, counters read from
+// common/alloc_stats.h. Keeping the loop and the JSON field names in one
+// place is what keeps the two benches' CI records in sync.
+
+#ifndef TJ_BENCHLIB_STORAGE_METRICS_H_
+#define TJ_BENCHLIB_STORAGE_METRICS_H_
+
+#include <cstdio>
+
+#include "common/alloc_stats.h"
+#include "table/table.h"
+
+namespace tj {
+
+struct StorageMetrics {
+  size_t cells_bytes = 0;           // sum of column arena bytes
+  size_t index_total_postings = 0;  // CSR postings over measured columns
+  size_t index_memory_bytes = 0;    // CSR footprint of measured columns
+  AllocCounters csr;                // allocations of the CSR builds
+  AllocCounters reference;          // allocations of the map-based builds
+
+  /// Adds a table's arena footprint to cells_bytes (no index build).
+  void AddCells(const Table& table) { cells_bytes += table.ArenaBytes(); }
+
+  /// Builds the n-gram index over `column` twice — flat CSR, then the
+  /// map-based reference — recording each pass's allocation counters and
+  /// the CSR index's size. The paper's n0=4, nmax=20 range, lowercased.
+  void MeasureColumn(const Column& column);
+};
+
+/// One-line human-readable summary (printed by both benches).
+void PrintStorageSummary(const StorageMetrics& m);
+
+/// Writes the storage fields as the TAIL of a JSON object — eight
+/// "key": value lines followed by the closing "}\n". The caller's previous
+/// field must end with ",\n".
+void WriteStorageJsonTail(std::FILE* f, const StorageMetrics& m);
+
+}  // namespace tj
+
+#endif  // TJ_BENCHLIB_STORAGE_METRICS_H_

@@ -107,6 +107,8 @@ AutoJoinEval EvaluateAutoJoin(const TablePair& pair,
 
 /// Learning pairs for a table under a matching mode + the dataset's sampling
 /// policy (exposed so Table 2's two panels share the exact same input).
+/// The pairs are views into `pair`'s frozen column arenas — zero copies —
+/// so `pair` must outlive them (every runner here uses them inline).
 std::vector<ExamplePair> LearningPairs(const TablePair& pair,
                                        const BenchDataset& config,
                                        MatchingMode matching);

@@ -1,0 +1,20 @@
+#include "common/alloc_stats.h"
+
+namespace tj {
+namespace alloc_internal {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_bytes{0};
+std::atomic<bool> g_hooks_installed{false};
+}  // namespace alloc_internal
+
+AllocCounters CurrentAllocCounters() {
+  return AllocCounters{
+      alloc_internal::g_allocs.load(std::memory_order_relaxed),
+      alloc_internal::g_bytes.load(std::memory_order_relaxed)};
+}
+
+bool AllocCountingAvailable() {
+  return alloc_internal::g_hooks_installed.load(std::memory_order_relaxed);
+}
+
+}  // namespace tj

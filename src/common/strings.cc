@@ -8,10 +8,20 @@ namespace tj {
 
 std::string ToLowerAscii(std::string_view s) {
   std::string out(s);
-  for (char& c : out) {
-    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
-  }
+  ToLowerAsciiInPlace(&out);
   return out;
+}
+
+void ToLowerAsciiInPlace(char* data, size_t size) {
+  for (size_t i = 0; i < size; ++i) data[i] = ToLowerAsciiChar(data[i]);
+}
+
+void AppendLowerAscii(std::string_view s, std::string* out) {
+  const size_t base = out->size();
+  out->resize(base + s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    (*out)[base + i] = ToLowerAsciiChar(s[i]);
+  }
 }
 
 std::string_view TrimAscii(std::string_view s) {

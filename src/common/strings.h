@@ -10,8 +10,27 @@
 
 namespace tj {
 
+/// Lowercases one ASCII letter; other bytes pass through. The single shared
+/// definition of "lowercase" used by the n-gram index, the row matcher, and
+/// the corpus sketches — they must agree byte-for-byte or cached sketches
+/// and index lookups diverge.
+inline char ToLowerAsciiChar(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
 /// Lowercases ASCII letters; other bytes pass through.
 std::string ToLowerAscii(std::string_view s);
+
+/// In-place variant over a raw byte range.
+void ToLowerAsciiInPlace(char* data, size_t size);
+inline void ToLowerAsciiInPlace(std::string* s) {
+  ToLowerAsciiInPlace(s->data(), s->size());
+}
+
+/// Appends the lowercased bytes of `s` to `*out` without an intermediate
+/// allocation; with a reused `out` buffer this is the allocation-free way to
+/// lowercase one row at a time.
+void AppendLowerAscii(std::string_view s, std::string* out);
 
 /// Strips leading/trailing ASCII whitespace.
 std::string_view TrimAscii(std::string_view s);

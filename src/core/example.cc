@@ -8,8 +8,7 @@ std::vector<ExamplePair> MakeExamplePairs(const Column& source,
   std::vector<ExamplePair> out;
   out.reserve(pairs.size());
   for (const RowPair& p : pairs) {
-    out.push_back(ExamplePair{std::string(source.Get(p.source)),
-                              std::string(target.Get(p.target))});
+    out.push_back(ExamplePair{source.Get(p.source), target.Get(p.target)});
   }
   return out;
 }

@@ -1,10 +1,19 @@
 // ExamplePair: one (source value, target value) row pair — the input grain of
 // transformation discovery (the paper's "joinable row pairs").
+//
+// The pair is NON-OWNING: both members are views, normally into the frozen
+// column arenas the pair was materialized from (MakeExamplePairs). Discovery
+// only reads the views while it runs — everything it returns (units,
+// transformations, coverage) owns its own bytes — so the only lifetime rule
+// is: keep the backing columns (or whatever the views point into) alive and
+// unmutated while the ExamplePairs are in use. Moving the backing table is
+// fine (arena buffers migrate wholesale; see table/column.h); destroying or
+// mutating it is not.
 
 #ifndef TJ_CORE_EXAMPLE_H_
 #define TJ_CORE_EXAMPLE_H_
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "table/column.h"
@@ -13,15 +22,17 @@
 namespace tj {
 
 struct ExamplePair {
-  std::string source;
-  std::string target;
+  std::string_view source;
+  std::string_view target;
 
   bool operator==(const ExamplePair& other) const {
     return source == other.source && target == other.target;
   }
 };
 
-/// Materializes the example pairs named by `pairs` from two join columns.
+/// Materializes the example pairs named by `pairs` as views into two join
+/// columns — no cell is copied. The returned pairs are valid as long as both
+/// columns live and are not mutated.
 std::vector<ExamplePair> MakeExamplePairs(const Column& source,
                                           const Column& target,
                                           const std::vector<RowPair>& pairs);

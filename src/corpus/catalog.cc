@@ -167,6 +167,11 @@ Result<uint32_t> TableCatalog::AddTable(Table table) {
   entry.signatures.resize(table.num_columns());
   entry.fingerprint = TableFingerprint(table);
   entry.table = std::move(table);
+  // Catalog tables are frozen: their cell views (arena storage) stay valid
+  // until RemoveTable/UpdateTable replaces the entry, and the row matcher's
+  // per-column lowercase cache persists across every pair that touches the
+  // column. Mutation goes through UpdateTable with a fresh (copied) table.
+  entry.table.Freeze();
   table_index_.emplace(entry.table.name(), id);
   tables_.push_back(std::move(entry));
   ++num_live_;
@@ -198,7 +203,13 @@ Result<uint32_t> TableCatalog::UpdateTable(Table table) {
   TableEntry& entry = tables_[id];
   entry.signatures.assign(table.num_columns(), std::nullopt);
   entry.fingerprint = TableFingerprint(table);
+  // Replacing the entry's table frees the old arena: any view into the old
+  // contents (cell views, ExamplePairs, cached lowered columns) dangles from
+  // here on. Shortlists are safe — they hold ColumnRefs (ids + scores), not
+  // views — but callers must not hold cell views across an update
+  // (tests/storage_view_test.cc exercises this under ASan).
   entry.table = std::move(table);
+  entry.table.Freeze();
   return id;
 }
 

@@ -48,11 +48,12 @@ ColumnSignature ComputeColumnSignature(const Column& column,
   std::unordered_set<uint64_t> distinct;
   uint64_t total_length = 0;
   sig.min_length = column.empty() ? 0 : ~0u;
+  std::string lowered;  // reused across rows: one amortized allocation
   for (size_t row = 0; row < column.size(); ++row) {
-    std::string lowered;
     std::string_view text = column.Get(row);
     if (options.lowercase) {
-      lowered = ToLowerAscii(text);
+      lowered.clear();
+      AppendLowerAscii(text, &lowered);
       text = lowered;
     }
     const auto length = static_cast<uint32_t>(text.size());

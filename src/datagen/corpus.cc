@@ -28,6 +28,7 @@ Table MakeNoiseTable(const std::string& prefix, size_t index, size_t rows,
   }
   TJ_CHECK(table.AddColumn(std::move(values)).ok());
   TJ_CHECK(table.AddColumn(std::move(ids)).ok());
+  table.Freeze();
   return table;
 }
 

@@ -39,6 +39,8 @@ TablePair Figure1NamePhonePair() {
 
   pair.source = std::move(source);
   pair.target = std::move(target);
+  pair.source.Freeze();
+  pair.target.Freeze();
   pair.source_join_column = 0;
   pair.target_join_column = 0;
   for (uint32_t i = 0; i < 6; ++i) pair.golden.Add(RowPair{i, i});
@@ -79,6 +81,8 @@ TablePair Figure1NameEmailPair() {
 
   pair.source = std::move(source);
   pair.target = std::move(target);
+  pair.source.Freeze();
+  pair.target.Freeze();
   pair.source_join_column = 0;
   pair.target_join_column = 1;
   for (uint32_t i = 0; i < 6; ++i) pair.golden.Add(RowPair{i, i});

@@ -115,6 +115,8 @@ TablePair GenerateOpenData(const OpenDataOptions& options) {
           .ok());
   pair.source = std::move(source_table);
   pair.target = std::move(target_table);
+  pair.source.Freeze();
+  pair.target.Freeze();
   pair.source_join_column = 0;
   pair.target_join_column = 0;
   for (const RowPair& link : golden_links) {

@@ -243,6 +243,8 @@ std::vector<TablePair> GenerateSpreadsheet(const SpreadsheetOptions& options) {
                  .ok());
     pair.source = std::move(source_table);
     pair.target = std::move(target_table);
+    pair.source.Freeze();
+    pair.target.Freeze();
     pair.source_join_column = 0;
     pair.target_join_column = 0;
     for (uint32_t j = 0; j < order.size(); ++j) {

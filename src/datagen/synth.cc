@@ -195,13 +195,32 @@ SynthDataset GenerateSynth(const SynthOptions& options) {
   for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
   rng.Shuffle(&order);  // order[j] = source row whose target lands at j
 
-  std::vector<std::string> shuffled(options.num_rows);
-  for (uint32_t j = 0; j < order.size(); ++j) shuffled[j] = targets[order[j]];
+  // Cells are appended straight into the column arenas (no intermediate
+  // per-cell strings for the shuffled target order), and the finished tables
+  // are frozen: every ExamplePair view handed out downstream stays valid for
+  // the dataset's lifetime.
+  size_t source_bytes = 0;
+  for (const std::string& s : sources) source_bytes += s.size();
+  size_t target_bytes = 0;
+  for (const std::string& t : targets) target_bytes += t.size();
+
+  Column source_column("value");
+  source_column.Reserve(options.num_rows);
+  source_column.ReserveChars(source_bytes);
+  for (const std::string& s : sources) source_column.Append(s);
+  Column target_column("value");
+  target_column.Reserve(options.num_rows);
+  target_column.ReserveChars(target_bytes);
+  for (uint32_t j = 0; j < order.size(); ++j) {
+    target_column.Append(targets[order[j]]);
+  }
 
   Table source_table("synth-source");
-  TJ_CHECK(source_table.AddColumn(Column("value", std::move(sources))).ok());
+  TJ_CHECK(source_table.AddColumn(std::move(source_column)).ok());
+  source_table.Freeze();
   Table target_table("synth-target");
-  TJ_CHECK(target_table.AddColumn(Column("value", std::move(shuffled))).ok());
+  TJ_CHECK(target_table.AddColumn(std::move(target_column)).ok());
+  target_table.Freeze();
 
   ds.pair.name = StrPrintf("Synth-%zu%s", options.num_rows,
                            options.min_len >= 40 ? "L" : "");

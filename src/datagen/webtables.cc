@@ -354,6 +354,8 @@ std::vector<TablePair> GenerateWebTables(const WebTablesOptions& options) {
                  .ok());
     pair.source = std::move(source_table);
     pair.target = std::move(target_table);
+    pair.source.Freeze();
+    pair.target.Freeze();
     pair.source_join_column = 0;
     pair.target_join_column = 0;
     for (const RowPair& g : golden) pair.golden.Add(g);

@@ -1,0 +1,35 @@
+#include "index/reference_postings.h"
+
+#include "common/strings.h"
+#include "text/ngram.h"
+
+namespace tj {
+
+ReferencePostingsMap BuildReferencePostings(const Column& column, size_t n0,
+                                            size_t nmax, bool lowercase) {
+  ReferencePostingsMap postings;
+  for (size_t row = 0; row < column.size(); ++row) {
+    std::string lowered;
+    std::string_view text = column.Get(row);
+    if (lowercase) {
+      lowered = ToLowerAscii(text);
+      text = lowered;
+    }
+    for (size_t n = n0; n <= nmax && n <= text.size(); ++n) {
+      ForEachNgram(text, n, [&](std::string_view gram) {
+        auto it = postings.find(gram);
+        if (it == postings.end()) {
+          it = postings.emplace(std::string(gram), std::vector<uint32_t>())
+                   .first;
+        }
+        if (it->second.empty() ||
+            it->second.back() != static_cast<uint32_t>(row)) {
+          it->second.push_back(static_cast<uint32_t>(row));
+        }
+      });
+    }
+  }
+  return postings;
+}
+
+}  // namespace tj

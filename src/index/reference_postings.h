@@ -1,0 +1,36 @@
+// Map-based n-gram postings builder — the storage model NgramInvertedIndex
+// used before the flat CSR refactor, retained as a reference:
+//  * equivalence tests assert the CSR index's content matches this builder's
+//    gram-for-gram (tests/storage_view_test.cc, parallel_determinism_test);
+//  * bench_table2/bench_corpus measure its heap allocations against the CSR
+//    build's, making the "strictly fewer allocations" claim a recorded
+//    number instead of an assertion.
+// Not used on any production path.
+
+#ifndef TJ_INDEX_REFERENCE_POSTINGS_H_
+#define TJ_INDEX_REFERENCE_POSTINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "table/column.h"
+
+namespace tj {
+
+using ReferencePostingsMap =
+    std::unordered_map<std::string, std::vector<uint32_t>, StringHash,
+                       StringEq>;
+
+/// Serial reference build: one heap string per distinct gram, one growable
+/// posting vector per gram — the per-gram allocation profile the CSR layout
+/// removed. Semantics identical to NgramInvertedIndex::Build (ascending,
+/// per-row-deduplicated posting lists; optional ASCII lowercasing).
+ReferencePostingsMap BuildReferencePostings(const Column& column, size_t n0,
+                                            size_t nmax, bool lowercase);
+
+}  // namespace tj
+
+#endif  // TJ_INDEX_REFERENCE_POSTINGS_H_

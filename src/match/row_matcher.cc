@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,13 +23,16 @@ using RscoreMap =
 /// NOT deduplicated here — duplicates (the same target reached through
 /// several n-gram sizes) must survive so the max_pairs budget check fires at
 /// the same raw occurrence it would in a fused serial scan.
+///
+/// `source` is already in query case (the caller indexes and scans the same
+/// lowered column), so the row view is read straight from the arena — the
+/// scan allocates nothing per row.
 void CollectRowOccurrences(const Column& source, uint32_t row,
                            const NgramInvertedIndex& target_index,
                            const RscoreMap& rscore,
                            const RowMatchOptions& options,
                            std::vector<uint32_t>* occurrences) {
-  std::string text = options.lowercase ? ToLowerAscii(source.Get(row))
-                                       : std::string(source.Get(row));
+  const std::string_view text = source.Get(row);
   for (size_t n = options.n0; n <= options.nmax && n <= text.size(); ++n) {
     // Representative n-gram of this size: argmax Rscore with a positive
     // target-side IRF. First occurrence wins ties (deterministic).
@@ -42,7 +46,7 @@ void CollectRowOccurrences(const Column& source, uint32_t row,
       }
     });
     if (rep.empty()) continue;
-    const std::vector<uint32_t>& targets = target_index.Lookup(rep);
+    const std::span<const uint32_t> targets = target_index.Lookup(rep);
     occurrences->insert(occurrences->end(), targets.begin(), targets.end());
   }
 }
@@ -66,6 +70,33 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
                                  const RowMatchOptions& options) {
   RowMatchResult result;
 
+  // Lowercase at the column grain instead of per row: both index builds and
+  // the row scan then read lowered views with zero per-row allocation
+  // (indexing the lowered column with lowercase off is byte-identical to
+  // lowering each row during the build). FROZEN columns — catalog entries,
+  // loaded CSVs, datagen output — cache the lowered shadow on the column
+  // (built once *ever* for columns matched repeatedly, e.g. across a corpus
+  // run's pairs); unfrozen columns get a transient copy scoped to this
+  // call, so a one-shot match does not retain a second arena.
+  std::optional<Column> lowered_source;
+  std::optional<Column> lowered_target;
+  const Column* scan_source = &source;
+  const Column* scan_target = &target;
+  if (options.lowercase) {
+    if (source.frozen()) {
+      scan_source = &source.LowercasedAscii();
+    } else {
+      lowered_source.emplace(source.LowercasedAsciiCopy());
+      scan_source = &*lowered_source;
+    }
+    if (target.frozen()) {
+      scan_target = &target.LowercasedAscii();
+    } else {
+      lowered_target.emplace(target.LowercasedAsciiCopy());
+      scan_target = &*lowered_target;
+    }
+  }
+
   // One pool serves both index builds and the row scan (previously each
   // index build spun up its own). Serial when a shared pool was not given
   // and num_threads resolves to 1, or when this call itself runs inside a
@@ -86,9 +117,9 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
   }
 
   const NgramInvertedIndex source_index = NgramInvertedIndex::Build(
-      source, options.n0, options.nmax, options.lowercase, pool);
+      *scan_source, options.n0, options.nmax, /*lowercase=*/false, pool);
   const NgramInvertedIndex target_index = NgramInvertedIndex::Build(
-      target, options.n0, options.nmax, options.lowercase, pool);
+      *scan_target, options.n0, options.nmax, /*lowercase=*/false, pool);
 
   // Precomputed Rscore per distinct source-side gram: one target-index probe
   // per distinct gram, instead of two index probes per gram occurrence in
@@ -103,7 +134,7 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
   RscoreMap rscore;
   rscore.reserve(source_index.num_grams());
   source_index.ForEachGram(
-      [&](std::string_view gram, const std::vector<uint32_t>& rows) {
+      [&](std::string_view gram, std::span<const uint32_t> rows) {
         const double target_irf = InverseRowFrequency(target_index, gram);
         if (target_irf == 0.0) return;
         rscore.emplace(gram, (1.0 / static_cast<double>(rows.size())) *
@@ -126,8 +157,8 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
                           size_t end) {
                         for (size_t row = begin; row < end; ++row) {
                           CollectRowOccurrences(
-                              source, static_cast<uint32_t>(row), target_index,
-                              rscore, options, &per_row[row]);
+                              *scan_source, static_cast<uint32_t>(row),
+                              target_index, rscore, options, &per_row[row]);
                         }
                       });
   }
@@ -146,7 +177,7 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
       row_occurrences = &per_row[row];
     } else {
       occurrences.clear();
-      CollectRowOccurrences(source, row, target_index, rscore, options,
+      CollectRowOccurrences(*scan_source, row, target_index, rscore, options,
                             &occurrences);
       row_occurrences = &occurrences;
     }

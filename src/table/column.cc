@@ -1,12 +1,171 @@
 #include "table/column.h"
 
+#include <cstring>
+#include <memory>
+
+#include "common/strings.h"
+
 namespace tj {
 
-double Column::AverageLength() const {
-  if (values_.empty()) return 0.0;
+Column::Column(std::string name, const std::vector<std::string>& values)
+    : name_(std::move(name)) {
   size_t total = 0;
-  for (const auto& v : values_) total += v.size();
-  return static_cast<double>(total) / static_cast<double>(values_.size());
+  for (const auto& v : values) total += v.size();
+  arena_.reserve(total);
+  slots_.reserve(values.size());
+  for (const auto& v : values) Append(v);
+}
+
+Column::Column(const Column& other) { CopyFrom(other); }
+
+Column& Column::operator=(const Column& other) {
+  if (this == &other) return *this;
+  DropLowercaseCache();
+  arena_.clear();
+  slots_.clear();
+  CopyFrom(other);
+  return *this;
+}
+
+void Column::CopyFrom(const Column& other) {
+  // Copies compact: only live cell bytes are transferred, so dead space
+  // orphaned by Set growth is reclaimed here (the copy-edit-UpdateTable
+  // maintenance cycle stays O(live bytes) no matter how often it runs).
+  // Copies start unfrozen and cache-less: no outstanding views, mutable.
+  name_ = other.name_;
+  arena_.reserve(other.CellBytes());
+  slots_.reserve(other.slots_.size());
+  for (const Slot& s : other.slots_) {
+    Slot copied;
+    copied.offset = arena_.size();
+    copied.length = s.length;
+    arena_.insert(arena_.end(), other.arena_.data() + s.offset,
+                  other.arena_.data() + s.offset + s.length);
+    slots_.push_back(copied);
+  }
+  frozen_ = false;
+}
+
+Column::Column(Column&& other) noexcept
+    : name_(std::move(other.name_)),
+      arena_(std::move(other.arena_)),
+      slots_(std::move(other.slots_)),
+      frozen_(other.frozen_),
+      lowered_(other.lowered_.exchange(nullptr, std::memory_order_acq_rel)) {
+  other.frozen_ = false;
+}
+
+Column& Column::operator=(Column&& other) noexcept {
+  if (this == &other) return *this;
+  DropLowercaseCache();
+  name_ = std::move(other.name_);
+  arena_ = std::move(other.arena_);
+  slots_ = std::move(other.slots_);
+  frozen_ = other.frozen_;
+  other.frozen_ = false;
+  lowered_.store(other.lowered_.exchange(nullptr, std::memory_order_acq_rel),
+                 std::memory_order_release);
+  return *this;
+}
+
+Column::~Column() { DropLowercaseCache(); }
+
+void Column::DropLowercaseCache() {
+  if (lowered_.load(std::memory_order_relaxed) == nullptr) return;
+  delete lowered_.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+// True when `value`'s bytes live inside [base, base + size).
+static bool Aliases(std::string_view value, const char* base, size_t size) {
+  if (value.empty() || base == nullptr) return false;
+  const auto v = reinterpret_cast<uintptr_t>(value.data());
+  const auto b = reinterpret_cast<uintptr_t>(base);
+  return v >= b && v < b + size;
+}
+
+void Column::AppendToArena(std::string_view value) {
+  // Self-aliasing values (e.g. Append(col.Get(j))) survive the arena
+  // reallocation: the offset is taken before the resize and the bytes are
+  // re-read from the moved buffer.
+  const size_t self_offset = Aliases(value, arena_.data(), arena_.size())
+                                 ? static_cast<size_t>(value.data() -
+                                                       arena_.data())
+                                 : kNoSelfAlias;
+  const size_t old_size = arena_.size();
+  arena_.resize(old_size + value.size());
+  const char* src = self_offset != kNoSelfAlias ? arena_.data() + self_offset
+                                                : value.data();
+  if (!value.empty()) std::memcpy(arena_.data() + old_size, src, value.size());
+}
+
+void Column::Append(std::string_view value) {
+  TJ_CHECK(!frozen_);
+  TJ_CHECK(value.size() <= 0xffffffffu);  // slot lengths are 32-bit
+  Slot slot;
+  slot.offset = arena_.size();
+  slot.length = static_cast<uint32_t>(value.size());
+  AppendToArena(value);
+  slots_.push_back(slot);
+  // Dropped last: `value` may view the cached lowered shadow.
+  DropLowercaseCache();
+}
+
+void Column::Set(size_t row, std::string_view value) {
+  TJ_CHECK(!frozen_);
+  TJ_CHECK(row < slots_.size());
+  TJ_CHECK(value.size() <= 0xffffffffu);  // slot lengths are 32-bit
+  Slot& slot = slots_[row];
+  if (value.size() <= slot.length) {
+    if (!value.empty()) {
+      // memmove: `value` may view this arena, overlapping the target cell.
+      std::memmove(arena_.data() + slot.offset, value.data(), value.size());
+    }
+    slot.length = static_cast<uint32_t>(value.size());
+  } else {
+    slot.offset = arena_.size();
+    slot.length = static_cast<uint32_t>(value.size());
+    AppendToArena(value);
+  }
+  // Dropped last: `value` may view the cached lowered shadow.
+  DropLowercaseCache();
+}
+
+Column Column::LowercasedAsciiCopy() const {
+  Column lowered;
+  lowered.name_ = name_;
+  lowered.arena_ = arena_;
+  lowered.slots_ = slots_;
+  ToLowerAsciiInPlace(lowered.arena_.data(), lowered.arena_.size());
+  lowered.frozen_ = true;
+  return lowered;
+}
+
+const Column& Column::LowercasedAscii() const {
+  const Column* cached = lowered_.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+
+  auto fresh = std::make_unique<Column>(LowercasedAsciiCopy());
+
+  const Column* expected = nullptr;
+  if (lowered_.compare_exchange_strong(expected, fresh.get(),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    return *fresh.release();
+  }
+  // Another thread installed an identical shadow first; use theirs.
+  return *expected;
+}
+
+double Column::AverageLength() const {
+  if (slots_.empty()) return 0.0;
+  return static_cast<double>(CellBytes()) /
+         static_cast<double>(slots_.size());
+}
+
+size_t Column::CellBytes() const {
+  size_t total = 0;
+  for (const Slot& s : slots_) total += s.length;
+  return total;
 }
 
 }  // namespace tj

@@ -1,9 +1,38 @@
-// Column: a named vector of string cells. The paper's algorithms operate on
-// textual join columns, so the storage model keeps every cell as a string.
+// Column: a named, string-typed column backed by one contiguous char arena.
+//
+// Storage model: all cell bytes live in a single `std::vector<char>` arena;
+// each cell is an (offset, length) slot into it. `Get()` therefore returns a
+// view into one mappable buffer instead of a heap string per cell — the
+// zero-copy substrate the discovery pipeline (ExamplePair views), the n-gram
+// index build, and the corpus sketches read from directly.
+//
+// Lifetime / stability rules:
+//  * Mutations (`Append`, `Set`) may grow the arena and thus reallocate it:
+//    every view previously returned by `Get()` is invalidated, exactly like
+//    iterators of a growing std::vector.
+//  * Once a column stops mutating, views are stable for the column's
+//    remaining lifetime. `Freeze()` makes that contract explicit: a frozen
+//    column TJ_CHECK-fails on `Append`/`Set`, so views into it can be handed
+//    out (e.g. as ExamplePairs) without defensive copies.
+//  * MOVING a column (or a Table holding it) keeps all views valid — the
+//    arena's heap buffer migrates wholesale; the frozen flag and the
+//    lowercase cache move with it.
+//  * COPYING a column deep-copies — and COMPACTS — the arena: only live
+//    cell bytes transfer, so dead space orphaned by growing `Set`s is
+//    reclaimed. The copy starts *unfrozen* and without the lowercase cache:
+//    it has no outstanding views, so the holder may mutate it freely
+//    (catalog maintenance relies on copying a frozen catalog table and
+//    editing cells before UpdateTable; compaction keeps that cycle at
+//    O(live bytes) no matter how often it repeats).
+//  * Self-aliasing mutation is allowed: `Set`/`Append` may be fed a view
+//    into this column's own arena (or its lowered shadow) — e.g.
+//    col.Append(col.Get(j)) — and handle the reallocation safely.
+//  * Destroying the column invalidates its views, cache included.
 
 #ifndef TJ_TABLE_COLUMN_H_
 #define TJ_TABLE_COLUMN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -14,44 +43,109 @@
 
 namespace tj {
 
-/// A named, string-typed column.
+/// A named, string-typed column (arena storage; see file comment).
 class Column {
  public:
   Column() = default;
   explicit Column(std::string name) : name_(std::move(name)) {}
-  Column(std::string name, std::vector<std::string> values)
-      : name_(std::move(name)), values_(std::move(values)) {}
+  Column(std::string name, const std::vector<std::string>& values);
+
+  Column(const Column& other);
+  Column& operator=(const Column& other);
+  Column(Column&& other) noexcept;
+  Column& operator=(Column&& other) noexcept;
+  ~Column();
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
+  size_t size() const { return slots_.size(); }
+  bool empty() const { return slots_.empty(); }
 
-  /// Bounds-checked cell access.
+  /// Bounds-checked cell access. The view points into the arena; see the
+  /// stability rules in the file comment.
   std::string_view Get(size_t row) const {
-    TJ_CHECK(row < values_.size());
-    return values_[row];
+    TJ_CHECK(row < slots_.size());
+    const Slot& s = slots_[row];
+    return std::string_view(arena_.data() + s.offset, s.length);
   }
 
-  const std::vector<std::string>& values() const { return values_; }
+  /// Appends one cell (copies the bytes into the arena). TJ_CHECK-fails on a
+  /// frozen column.
+  void Append(std::string_view value);
 
-  void Append(std::string value) { values_.push_back(std::move(value)); }
-  void Reserve(size_t n) { values_.reserve(n); }
+  /// Reserves slot capacity for `n` cells.
+  void Reserve(size_t n) { slots_.reserve(n); }
+  /// Reserves arena capacity for `bytes` cell bytes (one allocation up
+  /// front instead of amortized doubling while appending).
+  void ReserveChars(size_t bytes) { arena_.reserve(bytes); }
 
-  /// Bounds-checked cell overwrite.
-  void Set(size_t row, std::string value) {
-    TJ_CHECK(row < values_.size());
-    values_[row] = std::move(value);
-  }
+  /// Bounds-checked cell overwrite. Shrinking or same-length values are
+  /// rewritten in place; growing values are appended at the arena's end —
+  /// the old bytes become dead space (reported by ArenaBytes, absent from
+  /// CellBytes) that the next copy compacts away. TJ_CHECK-fails on a
+  /// frozen column.
+  void Set(size_t row, std::string_view value);
+
+  /// Marks the column immutable: Append/Set TJ_CHECK-fail from here on, so
+  /// views returned by Get() stay valid for the column's lifetime (moves
+  /// included). Freezing twice is a no-op. There is no thaw — copy the
+  /// column to get a mutable (unfrozen) one.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  /// ASCII-lowercased shadow of this column, built once and cached (same
+  /// name, same slot layout, lowered arena). The canonical storage for the
+  /// "index and query one lowered form repeatedly" pattern of the row
+  /// matcher: the cache makes the per-row lowercase allocation disappear
+  /// entirely on columns that are matched more than once (corpus catalogs).
+  ///
+  /// Thread-safe on a column that is not being mutated (concurrent callers
+  /// race to install the same bytes; losers discard theirs). The cache is
+  /// dropped by any mutation and not carried by copies; the returned
+  /// reference lives exactly as long as this column (moves keep it alive).
+  const Column& LowercasedAscii() const;
+
+  /// One-shot variant: the same lowered shadow returned by value, without
+  /// installing (or consulting) the cache. For transient columns that are
+  /// matched once — the caller owns the copy and its lifetime.
+  Column LowercasedAsciiCopy() const;
 
   /// Mean cell length in characters; 0 for an empty column. The row matcher
   /// uses this to pick the more descriptive column as the source (§4.2.1).
   double AverageLength() const;
 
+  /// Live cell bytes (sum of slot lengths) — the logical payload size.
+  size_t CellBytes() const;
+  /// Arena buffer bytes actually held, dead space from Set growth included.
+  size_t ArenaBytes() const { return arena_.size(); }
+  /// Total heap footprint of the storage (arena + slot capacity), cache
+  /// excluded.
+  size_t FootprintBytes() const {
+    return arena_.capacity() + slots_.capacity() * sizeof(Slot);
+  }
+
  private:
+  struct Slot {
+    uint64_t offset = 0;
+    uint32_t length = 0;
+  };
+
+  static constexpr size_t kNoSelfAlias = ~size_t{0};
+
+  /// Appends value's bytes at the arena's end; safe when `value` views this
+  /// column's own arena (offset captured before the reallocation).
+  void AppendToArena(std::string_view value);
+  /// Compacting deep copy (live cell bytes only); leaves *this unfrozen.
+  void CopyFrom(const Column& other);
+  void DropLowercaseCache();
+
   std::string name_;
-  std::vector<std::string> values_;
+  std::vector<char> arena_;
+  std::vector<Slot> slots_;
+  bool frozen_ = false;
+  /// Lazily built lowercase shadow (heap-owned; freed by dtor/mutation).
+  mutable std::atomic<const Column*> lowered_{nullptr};
 };
 
 }  // namespace tj

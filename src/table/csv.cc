@@ -9,13 +9,23 @@
 namespace tj {
 namespace {
 
-/// Parses one record starting at *pos; advances *pos past the record's
-/// trailing newline. Returns false at end of input.
+/// Parses one record starting at *pos into the first `*num_fields` elements
+/// of `fields`; advances *pos past the record's trailing newline. Returns
+/// false at end of input. `fields` is a reusable scratch: elements are
+/// cleared and refilled in place (their buffers are kept across records), so
+/// a steady-state parse performs no per-field heap allocation.
 bool ParseRecord(std::string_view text, size_t* pos, char delim,
-                 std::vector<std::string>* fields, Status* status) {
-  fields->clear();
+                 std::vector<std::string>* fields, size_t* num_fields,
+                 Status* status) {
+  *num_fields = 0;
   if (*pos >= text.size()) return false;
-  std::string field;
+  const auto next_field = [&]() -> std::string* {
+    if (*num_fields == fields->size()) fields->emplace_back();
+    std::string* f = &(*fields)[(*num_fields)++];
+    f->clear();
+    return f;
+  };
+  std::string* field = next_field();
   bool in_quotes = false;
   bool field_was_quoted = false;
   size_t i = *pos;
@@ -24,34 +34,32 @@ bool ParseRecord(std::string_view text, size_t* pos, char delim,
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
-          field.push_back('"');
+          field->push_back('"');
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        field.push_back(c);
+        field->push_back(c);
       }
       continue;
     }
-    if (c == '"' && field.empty() && !field_was_quoted) {
+    if (c == '"' && field->empty() && !field_was_quoted) {
       in_quotes = true;
       field_was_quoted = true;
     } else if (c == delim) {
-      fields->push_back(std::move(field));
-      field.clear();
+      field = next_field();
       field_was_quoted = false;
     } else if (c == '\n' || c == '\r') {
       break;
     } else {
-      field.push_back(c);
+      field->push_back(c);
     }
   }
   if (in_quotes) {
     *status = Status::InvalidArgument("unterminated quoted CSV field");
     return false;
   }
-  fields->push_back(std::move(field));
   // Swallow one line terminator (\n, \r, or \r\n).
   if (i < text.size() && text[i] == '\r') ++i;
   if (i < text.size() && text[i] == '\n') ++i;
@@ -85,39 +93,43 @@ Result<Table> ReadCsvString(std::string_view text, const CsvOptions& options) {
   Table table;
   size_t pos = 0;
   std::vector<std::string> fields;
+  size_t num_fields = 0;
   Status status;
 
-  std::vector<std::string> names;
-  std::vector<std::vector<std::string>> column_data;
+  // Cells are appended straight into each column's arena: the reusable
+  // `fields` scratch above is the only per-record string storage, so the
+  // parse allocates O(columns) buffers total instead of one per cell.
+  std::vector<Column> columns;
 
   bool first = true;
-  while (ParseRecord(text, &pos, options.delimiter, &fields, &status)) {
+  while (ParseRecord(text, &pos, options.delimiter, &fields, &num_fields,
+                     &status)) {
     if (first) {
       first = false;
-      const size_t width = fields.size();
-      if (options.has_header) {
-        names = fields;
-        column_data.resize(width);
-        continue;
+      columns.reserve(num_fields);
+      for (size_t i = 0; i < num_fields; ++i) {
+        columns.emplace_back(options.has_header ? fields[i]
+                                                : StrPrintf("col%zu", i));
       }
-      for (size_t i = 0; i < width; ++i) names.push_back(StrPrintf("col%zu", i));
-      column_data.resize(width);
+      if (options.has_header) continue;
     }
-    if (fields.size() != names.size()) {
+    if (num_fields != columns.size()) {
       return Status::InvalidArgument(StrPrintf(
-          "CSV record has %zu fields, expected %zu", fields.size(),
-          names.size()));
+          "CSV record has %zu fields, expected %zu", num_fields,
+          columns.size()));
     }
-    for (size_t i = 0; i < fields.size(); ++i) {
-      column_data[i].push_back(std::move(fields[i]));
+    for (size_t i = 0; i < num_fields; ++i) {
+      columns[i].Append(fields[i]);
     }
   }
   if (!status.ok()) return status;
-  if (names.empty()) return Status::InvalidArgument("empty CSV input");
-  for (size_t i = 0; i < names.size(); ++i) {
-    TJ_RETURN_IF_ERROR(
-        table.AddColumn(Column(names[i], std::move(column_data[i]))));
+  if (columns.empty()) return Status::InvalidArgument("empty CSV input");
+  for (Column& column : columns) {
+    TJ_RETURN_IF_ERROR(table.AddColumn(std::move(column)));
   }
+  // Loaded tables are frozen: cell views handed out downstream stay valid
+  // for the table's lifetime; callers that want to edit copy first.
+  table.Freeze();
   return table;
 }
 

@@ -48,6 +48,19 @@ class Table {
 
   const std::vector<Column>& columns() const { return columns_; }
 
+  /// Freezes every column (see Column::Freeze): cell views become stable for
+  /// the table's lifetime, moves included. Copies of the table are unfrozen.
+  void Freeze() {
+    for (Column& c : columns_) c.Freeze();
+  }
+
+  /// Sum of the columns' arena buffer bytes (storage footprint diagnostic).
+  size_t ArenaBytes() const {
+    size_t total = 0;
+    for (const Column& c : columns_) total += c.ArenaBytes();
+    return total;
+  }
+
  private:
   std::string name_;
   std::vector<Column> columns_;

@@ -98,7 +98,10 @@ TEST(AutoJoin, SingleRuleSubsetAssumptionBreaksOnMixedInput) {
 TEST(AutoJoin, RespectsTimeBudget) {
   // Long noisy rows make the exhaustive enumeration explode; the run must
   // come back near the budget.
-  std::vector<ExamplePair> rows;
+  // ExamplePairs are views: the generated strings live in `storage`,
+  // filled completely before any view is taken.
+  std::vector<std::string> storage;
+  storage.reserve(16);
   for (int i = 0; i < 8; ++i) {
     std::string src;
     std::string tgt;
@@ -106,7 +109,12 @@ TEST(AutoJoin, RespectsTimeBudget) {
       src.push_back(static_cast<char>('a' + ((i * 31 + j * 7) % 26)));
       tgt.push_back(static_cast<char>('a' + ((i * 17 + j * 11) % 26)));
     }
-    rows.push_back({src, tgt});
+    storage.push_back(std::move(src));
+    storage.push_back(std::move(tgt));
+  }
+  std::vector<ExamplePair> rows;
+  for (size_t i = 0; i < storage.size(); i += 2) {
+    rows.push_back({storage[i], storage[i + 1]});
   }
   AutoJoinOptions options;
   options.time_budget_seconds = 0.3;

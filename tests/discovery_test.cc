@@ -108,10 +108,17 @@ TEST(Discovery, NoiseRowsRemainUncovered) {
 
 TEST(Discovery, MinSupportFiltersRareTransformations) {
   // 20 rows all covered by Split('|', 0).
-  std::vector<ExamplePair> rows;
+  // ExamplePairs are views: the cell strings live in `storage`, filled
+  // completely before any view is taken.
+  std::vector<std::string> storage;
+  storage.reserve(40);
   for (int i = 0; i < 20; ++i) {
-    rows.push_back({"value" + std::to_string(i) + "|rest",
-                    "value" + std::to_string(i)});
+    storage.push_back("value" + std::to_string(i) + "|rest");
+    storage.push_back("value" + std::to_string(i));
+  }
+  std::vector<ExamplePair> rows;
+  for (size_t i = 0; i < storage.size(); i += 2) {
+    rows.push_back({storage[i], storage[i + 1]});
   }
   DiscoveryOptions options;
   options.min_support_fraction = 0.5;  // only the shared rule survives

@@ -21,10 +21,17 @@ TEST(OptionCaps, PerRowTransformationCapIsHonored) {
 }
 
 TEST(OptionCaps, TotalGenerationScalesWithCap) {
-  std::vector<ExamplePair> rows;
+  // ExamplePairs are views: the cell strings must outlive the rows, so they
+  // live in `storage` (filled completely before any view is taken).
+  std::vector<std::string> storage;
+  storage.reserve(10);
   for (int i = 0; i < 5; ++i) {
-    rows.push_back({"aa bb cc dd" + std::to_string(i),
-                    "dd" + std::to_string(i) + " bb"});
+    storage.push_back("aa bb cc dd" + std::to_string(i));
+    storage.push_back("dd" + std::to_string(i) + " bb");
+  }
+  std::vector<ExamplePair> rows;
+  for (size_t i = 0; i < storage.size(); i += 2) {
+    rows.push_back({storage[i], storage[i + 1]});
   }
   DiscoveryOptions small;
   small.max_transformations_per_row = 8;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,16 +14,28 @@
 #include "core/example.h"
 #include "datagen/synth.h"
 #include "index/inverted_index.h"
+#include "index/reference_postings.h"
 #include "join/join_engine.h"
 #include "match/row_matcher.h"
 
 namespace tj {
 namespace {
 
-std::vector<ExamplePair> SynthRows(size_t rows, uint64_t seed) {
-  const SynthDataset ds = GenerateSynth(SynthN(rows, seed));
-  return MakeExamplePairs(ds.pair.SourceColumn(), ds.pair.TargetColumn(),
-                          ds.pair.golden.pairs());
+/// A synthetic dataset together with its golden example pairs. ExamplePairs
+/// are views into the dataset's column arenas, so the dataset rides along
+/// (moving the holder keeps the views valid — arena buffers migrate).
+struct SynthRowsHolder {
+  SynthDataset dataset;
+  std::vector<ExamplePair> rows;
+};
+
+SynthRowsHolder SynthRows(size_t rows, uint64_t seed) {
+  SynthRowsHolder holder;
+  holder.dataset = GenerateSynth(SynthN(rows, seed));
+  holder.rows = MakeExamplePairs(holder.dataset.pair.SourceColumn(),
+                                 holder.dataset.pair.TargetColumn(),
+                                 holder.dataset.pair.golden.pairs());
+  return holder;
 }
 
 void ExpectIdenticalCoverage(const CoverageIndex& a, const CoverageIndex& b) {
@@ -52,7 +66,8 @@ void ExpectIdenticalCounters(const DiscoveryStats& a,
 }
 
 TEST(ParallelCoverage, BitIdenticalCsrAcrossThreadCounts) {
-  const std::vector<ExamplePair> rows = SynthRows(48, 11);
+  const auto holder = SynthRows(48, 11);
+  const std::vector<ExamplePair>& rows = holder.rows;
   DiscoveryOptions serial;
   serial.num_threads = 1;
   const DiscoveryResult base = DiscoverTransformations(rows, serial);
@@ -73,7 +88,8 @@ TEST(ParallelCoverage, BitIdenticalCsrAcrossThreadCounts) {
 }
 
 TEST(ParallelCoverage, NegCacheAblationAlsoIdentical) {
-  const std::vector<ExamplePair> rows = SynthRows(24, 7);
+  const auto holder = SynthRows(24, 7);
+  const std::vector<ExamplePair>& rows = holder.rows;
   DiscoveryOptions serial;
   serial.num_threads = 1;
   serial.enable_neg_cache = false;
@@ -90,7 +106,8 @@ TEST(ParallelCoverage, NegCacheAblationAlsoIdentical) {
 }
 
 TEST(ParallelDiscovery, EndToEndIdenticalAcrossThreadCounts) {
-  const std::vector<ExamplePair> rows = SynthRows(48, 42);
+  const auto holder = SynthRows(48, 42);
+  const std::vector<ExamplePair>& rows = holder.rows;
   DiscoveryOptions serial;
   serial.num_threads = 1;
   const DiscoveryResult base = DiscoverTransformations(rows, serial);
@@ -133,7 +150,8 @@ TEST(ParallelDiscovery, EndToEndIdenticalAcrossThreadCounts) {
 TEST(ParallelDiscovery, NoDedupAblationIdentical) {
   // With dedup disabled the store keeps every generated duplicate; the
   // shard merge must replay them all in row order.
-  const std::vector<ExamplePair> rows = SynthRows(12, 3);
+  const auto holder = SynthRows(12, 3);
+  const std::vector<ExamplePair>& rows = holder.rows;
   DiscoveryOptions serial;
   serial.num_threads = 1;
   serial.enable_dedup = false;
@@ -151,7 +169,8 @@ TEST(ParallelDiscovery, NoDedupAblationIdentical) {
 }
 
 TEST(ParallelDiscovery, ZeroMeansHardwareConcurrency) {
-  const std::vector<ExamplePair> rows = SynthRows(16, 5);
+  const auto holder = SynthRows(16, 5);
+  const std::vector<ExamplePair>& rows = holder.rows;
   DiscoveryOptions serial;
   serial.num_threads = 1;
   DiscoveryOptions hw;
@@ -168,7 +187,8 @@ TEST(DiscoveryStatsTimes, WallClockPhasesAndCpuCounters) {
   // summed worker seconds into them instead); cpu_* carries the summed
   // per-worker seconds. Wall-phase intervals nest inside the total, so
   // their sum is bounded by it; small epsilon for clock jitter.
-  const std::vector<ExamplePair> rows = SynthRows(48, 13);
+  const auto holder = SynthRows(48, 13);
+  const std::vector<ExamplePair>& rows = holder.rows;
   for (int threads : {1, 4}) {
     DiscoveryOptions options;
     options.num_threads = threads;
@@ -208,11 +228,42 @@ TEST(ParallelIndexBuild, IdenticalPostingsAcrossThreadCounts) {
     ASSERT_EQ(parallel.num_rows(), serial.num_rows());
     ASSERT_EQ(parallel.num_grams(), serial.num_grams()) << threads;
     ASSERT_EQ(parallel.TotalPostings(), serial.TotalPostings()) << threads;
+    // The CSR layout makes the determinism contract stronger than "same
+    // content": gram ids (first-seen order) must line up too.
+    for (uint32_t id = 0; id < serial.num_grams(); ++id) {
+      ASSERT_EQ(parallel.gram(id), serial.gram(id))
+          << "gram id " << id << " with " << threads << " threads";
+    }
     serial.ForEachGram(
-        [&](std::string_view gram, const std::vector<uint32_t>& rows) {
-          const std::vector<uint32_t>& other = parallel.Lookup(gram);
-          ASSERT_EQ(other, rows) << "gram '" << std::string(gram) << "'";
+        [&](std::string_view gram, std::span<const uint32_t> rows) {
+          const std::span<const uint32_t> other = parallel.Lookup(gram);
+          ASSERT_TRUE(std::equal(other.begin(), other.end(), rows.begin(),
+                                 rows.end()))
+              << "gram '" << std::string(gram) << "'";
         });
+  }
+}
+
+TEST(ParallelIndexBuild, CsrMatchesMapReferenceBuilder) {
+  // The flat CSR index must agree gram-for-gram with the retained map-based
+  // reference builder (the pre-refactor storage model), lowercased and not.
+  const SynthDataset ds = GenerateSynth(SynthN(40, 29));
+  const Column& column = ds.pair.SourceColumn();
+  for (const bool lowercase : {false, true}) {
+    const NgramInvertedIndex index =
+        NgramInvertedIndex::Build(column, 4, 12, lowercase, 1);
+    const ReferencePostingsMap reference =
+        BuildReferencePostings(column, 4, 12, lowercase);
+    ASSERT_EQ(index.num_grams(), reference.size()) << lowercase;
+    size_t reference_postings = 0;
+    for (const auto& [gram, rows] : reference) {
+      reference_postings += rows.size();
+      const std::span<const uint32_t> got = index.Lookup(gram);
+      ASSERT_TRUE(
+          std::equal(got.begin(), got.end(), rows.begin(), rows.end()))
+          << "gram '" << gram << "' lowercase=" << lowercase;
+    }
+    EXPECT_EQ(index.TotalPostings(), reference_postings);
   }
 }
 
