@@ -11,10 +11,13 @@
 // pairs + 4 noise tables at 40 rows); TJ_NUM_THREADS sets the pair-level
 // thread count (0 = all cores).
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "benchlib/report.h"
@@ -50,6 +53,7 @@ struct RunOutcome {
   double seconds = 0.0;
   size_t joined_rows = 0;
   size_t pairs_with_rules = 0;
+  tj::CorpusDiscoveryResult result;  // kept for cross-backend comparison
 };
 
 RunOutcome Run(const tj::SynthCorpus& corpus,
@@ -63,7 +67,7 @@ RunOutcome Run(const tj::SynthCorpus& corpus,
     }
   }
   tj::Stopwatch watch;
-  const tj::CorpusDiscoveryResult result =
+  tj::CorpusDiscoveryResult result =
       tj::DiscoverJoinableColumns(&catalog, options);
   RunOutcome outcome;
   outcome.seconds = watch.ElapsedSeconds();
@@ -74,6 +78,99 @@ RunOutcome Run(const tj::SynthCorpus& corpus,
     outcome.joined_rows += pair.joined_rows;
     if (!pair.transformations.empty()) ++outcome.pairs_with_rules;
   }
+  outcome.result = std::move(result);
+  return outcome;
+}
+
+/// Field-by-field equality of two discovery results — the out-of-core
+/// acceptance check: a spilled catalog must produce byte-identical output.
+bool SameDiscoveryResults(const tj::CorpusDiscoveryResult& a,
+                          const tj::CorpusDiscoveryResult& b) {
+  if (a.total_column_pairs != b.total_column_pairs ||
+      a.pruned_pairs != b.pruned_pairs ||
+      a.results.size() != b.results.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    const tj::CorpusPairResult& x = a.results[i];
+    const tj::CorpusPairResult& y = b.results[i];
+    if (!(x.candidate.a == y.candidate.a) ||
+        !(x.candidate.b == y.candidate.b) ||
+        x.candidate.score != y.candidate.score ||
+        !(x.source == y.source) || !(x.target == y.target) ||
+        x.learning_pairs != y.learning_pairs ||
+        x.joined_rows != y.joined_rows ||
+        x.top_coverage != y.top_coverage ||
+        x.transformations != y.transformations) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SpillOutcome {
+  size_t total_cell_bytes = 0;   // corpus cell bytes (all in spill files)
+  size_t budget_bytes = 0;       // resident budget the catalog enforced
+  size_t spilled_bytes = 0;      // spill-file bytes after the run
+  size_t rss_growth_bytes = 0;   // RSS delta across the whole phase
+  size_t peak_rss_bytes = 0;     // process peak sampled right after the run
+  double seconds = 0.0;
+  tj::CorpusDiscoveryResult result;
+};
+
+/// The out-of-core scenario: the same corpus generated straight into spill
+/// files, cataloged under a resident budget of 1/4 of its cell bytes, and
+/// discovered end-to-end. Runs BEFORE any in-memory pass so the RSS delta
+/// reflects the spilled path alone.
+SpillOutcome RunSpilled(const tj::SynthCorpusOptions& corpus_options,
+                        const tj::CorpusDiscoveryOptions& options) {
+  namespace fs = std::filesystem;
+  SpillOutcome outcome;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      tj::StrPrintf("tj-bench-spill-%ld", static_cast<long>(::getpid()));
+  const size_t rss_before = tj::CurrentRssBytes();
+
+  // One shared spill dir for generation and catalog: AddTable's
+  // AdoptStorage then no-ops (same kind, same directory) instead of
+  // re-copying every cell byte into a second set of files.
+  tj::SynthCorpusOptions spill_options = corpus_options;
+  spill_options.storage.spill_dir = dir.string();
+  spill_options.keep_row_ground_truth = false;  // heap-backed; not needed
+  tj::SynthCorpus corpus = tj::GenerateSynthCorpus(spill_options);
+
+  for (const tj::Table& table : corpus.tables) {
+    outcome.total_cell_bytes += table.ArenaBytes();
+  }
+
+  tj::StorageOptions storage = spill_options.storage;
+  storage.memory_budget_bytes =
+      std::max<size_t>(outcome.total_cell_bytes / 4, 1);
+  outcome.budget_bytes = storage.memory_budget_bytes;
+
+  tj::TableCatalog catalog(tj::SignatureOptions(), storage);
+  for (tj::Table& table : corpus.tables) {
+    auto added = catalog.AddTable(std::move(table));
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  corpus.tables.clear();
+
+  tj::Stopwatch watch;
+  outcome.result = tj::DiscoverJoinableColumns(&catalog, options);
+  outcome.seconds = watch.ElapsedSeconds();
+  outcome.spilled_bytes = catalog.SpilledBytes();
+  // Sampled before any in-memory pass faults the whole corpus: this is the
+  // out-of-core path's actual high-water mark.
+  outcome.peak_rss_bytes = tj::PeakRssBytes();
+  const size_t rss_after = tj::CurrentRssBytes();
+  outcome.rss_growth_bytes =
+      rss_after > rss_before ? rss_after - rss_before : 0;
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
   return outcome;
 }
 
@@ -178,7 +275,6 @@ int main(int argc, char** argv) {
       corpus_options.num_joinable_pairs * 2 / 5;
   corpus_options.rows = 40;
   corpus_options.seed = 42;
-  const SynthCorpus corpus = GenerateSynthCorpus(corpus_options);
 
   CorpusDiscoveryOptions pruned_options;
   pruned_options.num_threads = num_threads;
@@ -188,6 +284,12 @@ int main(int argc, char** argv) {
   brute_options.pruner.require_charset_overlap = false;
   brute_options.pruner.min_rows = 0;
 
+  // Out-of-core FIRST — before the heap corpus even exists: peak RSS is a
+  // process-wide high-water mark, so the spilled phase's sample is only
+  // meaningful while no in-memory copy of the corpus has been faulted.
+  const SpillOutcome spilled = RunSpilled(corpus_options, pruned_options);
+
+  const SynthCorpus corpus = GenerateSynthCorpus(corpus_options);
   std::printf("corpus: %zu tables (%zu joinable pairs), %zu rows each, "
               "threads=%d\n",
               corpus.tables.size(), corpus.golden.size(),
@@ -195,7 +297,22 @@ int main(int argc, char** argv) {
 
   const RunOutcome pruned = Run(corpus, pruned_options);
   const RunOutcome brute = Run(corpus, brute_options);
-  const StorageMetrics storage = MeasureStorage(corpus);
+  const bool spill_identical =
+      SameDiscoveryResults(spilled.result, pruned.result);
+  std::printf(
+      "out-of-core: %zu cell bytes under a %zu-byte budget, %zu spilled "
+      "bytes, rss growth %zu bytes, %s, output %s\n",
+      spilled.total_cell_bytes, spilled.budget_bytes, spilled.spilled_bytes,
+      spilled.rss_growth_bytes, FormatSeconds(spilled.seconds).c_str(),
+      spill_identical ? "identical to in-memory" : "DIVERGES (BUG)");
+  if (!spill_identical) return 1;
+
+  StorageMetrics storage = MeasureStorage(corpus);
+  // The heap corpus spills nothing; report the out-of-core catalog's
+  // spill-file footprint and the peak RSS sampled right after the spilled
+  // phase (before the in-memory passes faulted everything).
+  storage.spilled_bytes = spilled.spilled_bytes;
+  storage.peak_rss_bytes = spilled.peak_rss_bytes;
   PrintStorageSummary(storage);
 
   TablePrinter printer({"mode", "pairs eval", "pruned %", "seconds",
@@ -299,7 +416,12 @@ int main(int argc, char** argv) {
         "  \"incremental_full_add_seconds\": %.6f,\n"
         "  \"incremental_full_rebuild_pairs\": %zu,\n"
         "  \"incremental_full_rebuild_seconds\": %.6f,\n"
-        "  \"incremental_pairs_per_second\": %.3f,\n",
+        "  \"incremental_pairs_per_second\": %.3f,\n"
+        "  \"spill_total_cell_bytes\": %zu,\n"
+        "  \"spill_budget_bytes\": %zu,\n"
+        "  \"spill_rss_growth_bytes\": %zu,\n"
+        "  \"spill_seconds\": %.6f,\n"
+        "  \"spill_output_identical\": %s,\n",
         corpus.tables.size(), pruned.total_pairs,
         ResolveNumThreads(num_threads), pruned.pruning_ratio,
         pruned.evaluated_pairs, pruned.seconds,
@@ -315,7 +437,10 @@ int main(int argc, char** argv) {
         inc_full.add_seconds > 0
             ? static_cast<double>(inc_full.scored_pairs) /
                   inc_full.add_seconds
-            : 0.0);
+            : 0.0,
+        spilled.total_cell_bytes, spilled.budget_bytes,
+        spilled.rss_growth_bytes, spilled.seconds,
+        spill_identical ? "true" : "false");
     WriteStorageJsonTail(f, storage);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());

@@ -52,6 +52,9 @@ StorageMetrics MeasureStorage(const std::vector<BenchDataset>& suite) {
       m.MeasureColumn(pair.TargetColumn());
     }
   }
+  // Fill the peak once here so the printed summary and the JSON tail
+  // report the same sample.
+  m.peak_rss_bytes = PeakRssBytes();
   return m;
 }
 

@@ -40,6 +40,7 @@
 #include "corpus/pair_pruner.h"
 #include "datagen/corpus.h"
 #include "table/csv.h"
+#include "table/spill_arena.h"
 
 namespace {
 
@@ -49,6 +50,7 @@ int Usage(const char* argv0) {
       "usage: %s <csv-dir> [--threads N] [--min-containment F]\n"
       "          [--max-candidates N] [--support F] [--top K]\n"
       "          [--signatures cache.tj] [--out results.csv]\n"
+      "          [--spill-dir DIR] [--memory-budget BYTES]\n"
       "          [--add FILE]... [--remove NAME]... [--update FILE]...\n"
       "       %s --gen <dir> [--tables N] [--rows N] [--seed S]\n"
       "       %s --selftest\n"
@@ -57,6 +59,11 @@ int Usage(const char* argv0) {
       "(default 0.05; 0 = brute force)\n"
       "  --signatures F: load/save the column sketch cache (v2: stale\n"
       "      entries self-invalidate via per-table fingerprints)\n"
+      "  --spill-dir DIR: land table bytes in mmap-backed files under DIR\n"
+      "      (out-of-core catalogs; ingest streams block-wise)\n"
+      "  --memory-budget BYTES: resident cell-byte budget (k/m/g suffixes\n"
+      "      ok); cold tables are evicted to their spill files and\n"
+      "      re-mapped on access. Requires --spill-dir\n"
       "  --add F / --remove NAME / --update F: incremental catalog\n"
       "      maintenance; only the touched table's pairs are rescored\n",
       argv0, argv0, argv0);
@@ -357,10 +364,20 @@ int main(int argc, char** argv) {
   size_t top = 20;
   std::string signatures_path;
   std::string out_path;
+  StorageOptions storage;
   std::vector<MaintenanceOp> ops;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      storage.spill_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0 &&
+               i + 1 < argc) {
+      if (!ParseByteSize(argv[++i], &storage.memory_budget_bytes)) {
+        std::fprintf(stderr, "invalid --memory-budget value '%s'\n",
+                     argv[i]);
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--min-containment") == 0 &&
                i + 1 < argc) {
       options.pruner.min_containment = std::atof(argv[++i]);
@@ -390,7 +407,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  TableCatalog catalog;
+  if (storage.memory_budget_bytes > 0 && !storage.spill_enabled()) {
+    std::fprintf(stderr, "--memory-budget requires --spill-dir\n");
+    return Usage(argv[0]);
+  }
+  if (storage.spill_enabled()) {
+    const Status spill_ready = EnsureSpillDir(storage.spill_dir);
+    if (!spill_ready.ok()) {
+      std::fprintf(stderr, "error: %s\n", spill_ready.ToString().c_str());
+      return 1;
+    }
+  }
+
+  TableCatalog catalog(SignatureOptions(), storage);
   const Status loaded_dir = catalog.AddCsvDirectory(dir);
   if (!loaded_dir.ok()) {
     std::fprintf(stderr, "error loading %s: %s\n", dir.c_str(),
@@ -399,8 +428,13 @@ int main(int argc, char** argv) {
   }
   // The 2-table floor is checked after the --add/--remove/--update ops run:
   // an --add may bootstrap a 1-table directory into a valid catalog.
-  std::printf("catalog: %zu tables, %zu columns\n", catalog.num_tables(),
+  std::printf("catalog: %zu tables, %zu columns", catalog.num_tables(),
               catalog.num_columns());
+  if (storage.spill_enabled()) {
+    std::printf(" (%zu bytes spilled, %zu resident)",
+                catalog.SpilledBytes(), catalog.ResidentCellBytes());
+  }
+  std::printf("\n");
 
   if (!signatures_path.empty() &&
       std::filesystem::exists(signatures_path)) {
@@ -441,7 +475,7 @@ int main(int argc, char** argv) {
         std::printf("removed %s (no rescoring)\n", op.arg.c_str());
         continue;
       }
-      auto table = ReadCsvFile(op.arg);
+      auto table = ReadCsvFile(op.arg, CsvOptions(), storage);
       if (!table.ok()) {
         std::fprintf(stderr, "%s: %s\n", op.arg.c_str(),
                      table.status().ToString().c_str());

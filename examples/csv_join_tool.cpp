@@ -17,9 +17,11 @@
 #include <cstring>
 #include <string>
 
+#include "common/strings.h"
 #include "core/serialization.h"
 #include "join/join_engine.h"
 #include "table/csv.h"
+#include "table/spill_arena.h"
 
 namespace {
 
@@ -29,8 +31,14 @@ int Usage(const char* argv0) {
                "<right-column>\n"
                "          [--support F] [--sample N] [--threads N] "
                "[--rules out.tj] [--out out.csv] [--golden pairs.csv]\n"
+               "          [--spill-dir DIR] [--memory-budget BYTES]\n"
                "       --threads N: worker threads for matching and "
-               "discovery (0 = all cores, default)\n",
+               "discovery (0 = all cores, default)\n"
+               "       --spill-dir DIR: stream both tables into mmap-backed "
+               "arenas under DIR (inputs larger than RAM)\n"
+               "       --memory-budget BYTES: with --spill-dir, release "
+               "resident pages after ingest so matching faults cells "
+               "in on demand (k/m/g suffixes ok)\n",
                argv0);
   return 2;
 }
@@ -51,9 +59,19 @@ int main(int argc, char** argv) {
   std::string rules_path;
   std::string out_path;
   std::string golden_path;
+  StorageOptions storage;
   for (int i = 5; i < argc; ++i) {
     if (std::strcmp(argv[i], "--support") == 0 && i + 1 < argc) {
       support = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      storage.spill_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--memory-budget") == 0 &&
+               i + 1 < argc) {
+      if (!ParseByteSize(argv[++i], &storage.memory_budget_bytes)) {
+        std::fprintf(stderr, "invalid --memory-budget value '%s'\n",
+                     argv[i]);
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
       sample = static_cast<size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -75,17 +93,35 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto left = ReadCsvFile(left_path);
+  if (storage.memory_budget_bytes > 0 && !storage.spill_enabled()) {
+    std::fprintf(stderr, "--memory-budget requires --spill-dir\n");
+    return Usage(argv[0]);
+  }
+  if (storage.spill_enabled()) {
+    const Status spill_ready = EnsureSpillDir(storage.spill_dir);
+    if (!spill_ready.ok()) {
+      std::fprintf(stderr, "error: %s\n", spill_ready.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto left = ReadCsvFile(left_path, CsvOptions(), storage);
   if (!left.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n", left_path.c_str(),
                  left.status().ToString().c_str());
     return 1;
   }
-  auto right = ReadCsvFile(right_path);
+  auto right = ReadCsvFile(right_path, CsvOptions(), storage);
   if (!right.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n", right_path.c_str(),
                  right.status().ToString().c_str());
     return 1;
+  }
+  if (storage.memory_budget_bytes > 0) {
+    // Drop ingest-dirtied pages: the join faults cells back in on demand,
+    // so steady-state RSS tracks the matcher's working set, not the files.
+    left->ReleasePages();
+    right->ReleasePages();
   }
   const auto left_idx = left->ColumnIndex(left_column);
   const auto right_idx = right->ColumnIndex(right_column);

@@ -1,9 +1,42 @@
 #include "benchlib/storage_metrics.h"
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include "index/inverted_index.h"
 #include "index/reference_postings.h"
 
 namespace tj {
+
+size_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
+size_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long vm_pages = 0;
+  unsigned long rss_pages = 0;
+  const int parsed = std::fscanf(f, "%lu %lu", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (parsed != 2) return 0;
+  return static_cast<size_t>(rss_pages) *
+         static_cast<size_t>(sysconf(_SC_PAGESIZE));
+}
+
+namespace {
+
+/// The peak to report: the bench's phase-sampled value when set (both
+/// benches fill the field before reporting, keeping the printed summary
+/// and the JSON tail identical), a fresh sample as a fallback otherwise.
+size_t ReportedPeakRss(const StorageMetrics& m) {
+  return m.peak_rss_bytes != 0 ? m.peak_rss_bytes : PeakRssBytes();
+}
+
+}  // namespace
 
 void StorageMetrics::MeasureColumn(const Column& column) {
   const AllocCounters before_csr = CurrentAllocCounters();
@@ -25,9 +58,11 @@ void StorageMetrics::MeasureColumn(const Column& column) {
 
 void PrintStorageSummary(const StorageMetrics& m) {
   std::printf(
-      "storage: cells %zu bytes; index build %llu allocs / %llu bytes "
+      "storage: cells %zu bytes (%zu spilled); peak rss %zu bytes; index "
+      "build %llu allocs / %llu bytes "
       "(reference map builder: %llu allocs / %llu bytes)%s\n",
-      m.cells_bytes, static_cast<unsigned long long>(m.csr.allocs),
+      m.cells_bytes, m.spilled_bytes, ReportedPeakRss(m),
+      static_cast<unsigned long long>(m.csr.allocs),
       static_cast<unsigned long long>(m.csr.bytes),
       static_cast<unsigned long long>(m.reference.allocs),
       static_cast<unsigned long long>(m.reference.bytes),
@@ -38,6 +73,8 @@ void WriteStorageJsonTail(std::FILE* f, const StorageMetrics& m) {
   std::fprintf(
       f,
       "  \"cells_bytes\": %zu,\n"
+      "  \"spilled_bytes\": %zu,\n"
+      "  \"peak_rss_bytes\": %zu,\n"
       "  \"index_total_postings\": %zu,\n"
       "  \"index_memory_bytes\": %zu,\n"
       "  \"alloc_counting_available\": %s,\n"
@@ -46,7 +83,8 @@ void WriteStorageJsonTail(std::FILE* f, const StorageMetrics& m) {
       "  \"index_build_allocs_reference\": %llu,\n"
       "  \"index_build_bytes_allocated_reference\": %llu\n"
       "}\n",
-      m.cells_bytes, m.index_total_postings, m.index_memory_bytes,
+      m.cells_bytes, m.spilled_bytes, ReportedPeakRss(m),
+      m.index_total_postings, m.index_memory_bytes,
       AllocCountingAvailable() ? "true" : "false",
       static_cast<unsigned long long>(m.csr.allocs),
       static_cast<unsigned long long>(m.csr.bytes),

@@ -1,0 +1,134 @@
+#include "common/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace tj {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() { Destroy(); }
+
+void MmapFile::Destroy() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+    fd_ = -1;
+  }
+  size_ = 0;
+  path_.clear();
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  Destroy();
+  fd_ = std::exchange(other.fd_, -1);
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  path_ = std::move(other.path_);
+  other.path_.clear();
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) return Errno("cannot create spill file", path);
+  MmapFile file;
+  file.fd_ = fd;
+  file.path_ = path;
+  return file;
+}
+
+Status MmapFile::Resize(size_t bytes) {
+  if (fd_ < 0) return Status::Internal("MmapFile::Resize on a closed file");
+  if (bytes < size_) {
+    return Status::InvalidArgument("spill files only grow");
+  }
+  if (bytes == size_ && (mapped() || bytes == 0)) return Status::OK();
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+    return Errno("cannot grow spill file", path_);
+  }
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  size_ = bytes;
+  return Remap();
+}
+
+Status MmapFile::Sync() const {
+  if (data_ == nullptr || size_ == 0) return Status::OK();
+  if (::msync(data_, size_, MS_SYNC) != 0) {
+    return Errno("msync failed on", path_);
+  }
+  return Status::OK();
+}
+
+Status MmapFile::ReleasePages(size_t begin, size_t end) const {
+  if (data_ == nullptr) return Status::OK();
+  const size_t page = PageSize();
+  end = end < size_ ? end : size_;
+  // Only whole pages inside [begin, end): partial edge pages stay resident,
+  // so a neighbor's live bytes are never written back mid-mutation.
+  const size_t first = (begin + page - 1) / page * page;
+  const size_t last = end / page * page;
+  if (first >= last) return Status::OK();
+  char* base = data_ + first;
+  const size_t length = last - first;
+  // MS_SYNC before MADV_DONTNEED: dirty shared pages are guaranteed on disk
+  // before the kernel is told their frames are droppable.
+  if (::msync(base, length, MS_SYNC) != 0) {
+    return Errno("msync failed on", path_);
+  }
+  if (::madvise(base, length, MADV_DONTNEED) != 0) {
+    return Errno("madvise failed on", path_);
+  }
+  return Status::OK();
+}
+
+Status MmapFile::Unmap() {
+  if (data_ == nullptr) return Status::OK();
+  TJ_RETURN_IF_ERROR(Sync());
+  if (::munmap(data_, size_) != 0) return Errno("munmap failed on", path_);
+  data_ = nullptr;
+  return Status::OK();
+}
+
+Status MmapFile::Remap() {
+  if (fd_ < 0) return Status::Internal("MmapFile::Remap on a closed file");
+  if (data_ != nullptr || size_ == 0) return Status::OK();
+  void* mapped = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                        fd_, 0);
+  if (mapped == MAP_FAILED) return Errno("mmap failed on", path_);
+  data_ = static_cast<char*>(mapped);
+  return Status::OK();
+}
+
+}  // namespace tj

@@ -1,0 +1,80 @@
+// MmapFile: a growable, memory-mapped scratch file — the byte store behind
+// the spill arena (table/spill_arena.h). The file is created inside a
+// caller-chosen directory, mapped MAP_SHARED so its pages are backed by the
+// filesystem instead of anonymous memory, and removed from disk when the
+// object dies. Because the mapping is file-backed, resident pages can be
+// dropped (ReleasePages) or the whole mapping torn down (Unmap) without
+// losing data: the bytes live in the file and fault back in on access.
+//
+// Concurrency: Create/Resize/Unmap/Remap mutate the mapping and must not
+// race with readers or each other. Sync/ReleasePages only talk to the
+// kernel about existing pages and are safe to call while other threads
+// read the mapping.
+
+#ifndef TJ_COMMON_MMAP_FILE_H_
+#define TJ_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace tj {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  /// Creates (O_EXCL) and opens the file at `path`. The file starts empty
+  /// and unmapped; Resize() grows and maps it. The file is unlinked by the
+  /// destructor, so spill bytes never outlive the run.
+  static Result<MmapFile> Create(const std::string& path);
+
+  /// Grows the file to `bytes` and (re)maps it read-write. The mapping may
+  /// move: every pointer previously returned by data() is invalidated.
+  /// Shrinking is not supported (spill arenas only grow).
+  Status Resize(size_t bytes);
+
+  /// Base of the current mapping; nullptr while unmapped or empty.
+  char* data() const { return data_; }
+  /// Mapped (== file) size in bytes.
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Flushes dirty pages of [0, size) to the file (blocking).
+  Status Sync() const;
+
+  /// Writes back and drops the resident pages whose byte range lies fully
+  /// inside [begin, end) (page-granular, so partial edge pages stay). The
+  /// mapping and all pointers into it remain valid; dropped pages fault
+  /// back in from the file on the next access. Safe under concurrent
+  /// readers.
+  Status ReleasePages(size_t begin, size_t end) const;
+
+  /// Syncs and tears down the mapping, keeping the file and descriptor:
+  /// the backing bytes stay on disk and Remap() restores access. All
+  /// pointers into the mapping are invalidated.
+  Status Unmap();
+
+  /// Re-establishes the mapping after Unmap() (likely at a new address).
+  Status Remap();
+
+ private:
+  void Destroy();
+
+  int fd_ = -1;
+  char* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_MMAP_FILE_H_

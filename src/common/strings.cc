@@ -98,4 +98,27 @@ std::string EscapeForDisplay(std::string_view s) {
   return out;
 }
 
+bool ParseByteSize(std::string_view s, size_t* out) {
+  s = TrimAscii(s);
+  if (s.empty()) return false;
+  size_t multiplier = 1;
+  const char last = ToLowerAsciiChar(s.back());
+  if (last == 'k' || last == 'm' || last == 'g') {
+    multiplier = last == 'k' ? (size_t{1} << 10)
+                             : last == 'm' ? (size_t{1} << 20)
+                                           : (size_t{1} << 30);
+    s.remove_suffix(1);
+    if (s.empty()) return false;
+  }
+  size_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (value > (~size_t{0} - (c - '0')) / 10) return false;  // overflow
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  if (multiplier != 1 && value > ~size_t{0} / multiplier) return false;
+  *out = value * multiplier;
+  return true;
+}
+
 }  // namespace tj

@@ -47,6 +47,11 @@ std::string StrPrintf(const char* fmt, ...)
 /// (used when pretty-printing transformations and literals).
 std::string EscapeForDisplay(std::string_view s);
 
+/// Parses a byte-size spec: a non-negative integer with an optional k/m/g
+/// suffix (case-insensitive, powers of 1024; "64m" = 64 MiB). Returns false
+/// on malformed input or overflow. Used by the --memory-budget CLI flags.
+bool ParseByteSize(std::string_view s, size_t* out);
+
 /// True if `needle` occurs in `haystack` (convenience over find()).
 inline bool Contains(std::string_view haystack, std::string_view needle) {
   return haystack.find(needle) != std::string_view::npos;

@@ -1,6 +1,7 @@
 #include "corpus/catalog.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -148,11 +149,23 @@ uint64_t TableFingerprint(const Table& table) {
   for (const Column& column : table.columns()) {
     h = HashCombine(h, HashString(column.name()));
     h = HashCombine(h, column.size());
-    for (size_t row = 0; row < column.size(); ++row) {
-      h = HashCombine(h, HashString(column.Get(row)));
-    }
+    // Block-streamed: fingerprinting an out-of-core table never pins more
+    // than ~a block of its cells (see ForEachCellStreamed).
+    ForEachCellStreamed(column, [&h](std::string_view cell) {
+      h = HashCombine(h, HashString(cell));
+    });
   }
   return h;
+}
+
+void TableCatalog::AdoptAndFreeze(Table* table) const {
+  // Catalog tables land on the catalog's storage (spill files when
+  // configured) and are frozen: their cell views stay valid until
+  // RemoveTable/UpdateTable replaces the entry, and the row matcher's
+  // per-column lowercase cache persists across every pair that touches the
+  // column. Mutation goes through UpdateTable with a fresh (copied) table.
+  if (storage_.spill_enabled()) table->AdoptStorage(storage_);
+  table->Freeze();
 }
 
 Result<uint32_t> TableCatalog::AddTable(Table table) {
@@ -165,16 +178,16 @@ Result<uint32_t> TableCatalog::AddTable(Table table) {
   const auto id = static_cast<uint32_t>(tables_.size());
   TableEntry entry;
   entry.signatures.resize(table.num_columns());
-  entry.fingerprint = TableFingerprint(table);
   entry.table = std::move(table);
-  // Catalog tables are frozen: their cell views (arena storage) stay valid
-  // until RemoveTable/UpdateTable replaces the entry, and the row matcher's
-  // per-column lowercase cache persists across every pair that touches the
-  // column. Mutation goes through UpdateTable with a fresh (copied) table.
-  entry.table.Freeze();
+  AdoptAndFreeze(&entry.table);
+  // Fingerprint after adoption: the streamed hash then releases spilled
+  // pages as it goes instead of faulting the whole table.
+  entry.fingerprint = TableFingerprint(entry.table);
+  entry.last_touch = ++touch_clock_;
   table_index_.emplace(entry.table.name(), id);
   tables_.push_back(std::move(entry));
   ++num_live_;
+  EnforceMemoryBudget();
   return id;
 }
 
@@ -202,14 +215,16 @@ Result<uint32_t> TableCatalog::UpdateTable(Table table) {
   const uint32_t id = it->second;
   TableEntry& entry = tables_[id];
   entry.signatures.assign(table.num_columns(), std::nullopt);
-  entry.fingerprint = TableFingerprint(table);
   // Replacing the entry's table frees the old arena: any view into the old
   // contents (cell views, ExamplePairs, cached lowered columns) dangles from
   // here on. Shortlists are safe — they hold ColumnRefs (ids + scores), not
   // views — but callers must not hold cell views across an update
   // (tests/storage_view_test.cc exercises this under ASan).
   entry.table = std::move(table);
-  entry.table.Freeze();
+  AdoptAndFreeze(&entry.table);
+  entry.fingerprint = TableFingerprint(entry.table);
+  entry.last_touch = ++touch_clock_;
+  EnforceMemoryBudget();
   return id;
 }
 
@@ -231,14 +246,23 @@ Status TableCatalog::AddCsvDirectory(const std::string& dir,
   }
   std::sort(files.begin(), files.end());
   for (const fs::path& path : files) {
-    auto table = ReadCsvFile(path.string(), csv);
+    // One bad file must not abort a repository scan: unreadable or
+    // unparseable entries (and name clashes) are warned about and skipped;
+    // every healthy table still loads.
+    auto table = ReadCsvFile(path.string(), csv, storage_);
     if (!table.ok()) {
-      return Status(table.status().code(),
-                    path.string() + ": " + table.status().message());
+      std::fprintf(stderr, "warning: skipping %s: %s\n",
+                   path.string().c_str(),
+                   table.status().ToString().c_str());
+      continue;
     }
     table->set_name(path.stem().string());
     auto added = AddTable(*std::move(table));
-    if (!added.ok()) return added.status();
+    if (!added.ok()) {
+      std::fprintf(stderr, "warning: skipping %s: %s\n",
+                   path.string().c_str(),
+                   added.status().ToString().c_str());
+    }
   }
   return Status::OK();
 }
@@ -246,6 +270,12 @@ Status TableCatalog::AddCsvDirectory(const std::string& dir,
 const Table& TableCatalog::table(uint32_t t) const {
   TJ_CHECK(t < tables_.size());
   TJ_CHECK(tables_[t].live);
+  // Transparent re-map: reads through an entry the budget enforcement
+  // evicted come back automatically. Called unconditionally — not gated on
+  // resident() — so a caller racing another thread's in-flight re-map
+  // still refreshes its column base pointers (racing re-maps serialize
+  // per column).
+  tables_[t].table.EnsureResident();
   return tables_[t].table;
 }
 
@@ -286,7 +316,61 @@ std::vector<ColumnRef> TableCatalog::AllColumns() const {
 const Column& TableCatalog::column(ColumnRef ref) const {
   TJ_CHECK(ref.table < tables_.size());
   TJ_CHECK(tables_[ref.table].live);
-  return tables_[ref.table].table.column(ref.column);
+  const Column& column = tables_[ref.table].table.column(ref.column);
+  column.EnsureResident();  // unconditional — see table() above
+  return column;
+}
+
+size_t TableCatalog::ResidentCellBytes() const {
+  size_t total = 0;
+  for (const TableEntry& entry : tables_) {
+    if (entry.live) total += entry.table.ResidentBytes();
+  }
+  return total;
+}
+
+size_t TableCatalog::SpilledBytes() const {
+  size_t total = 0;
+  for (const TableEntry& entry : tables_) {
+    if (entry.live) total += entry.table.SpilledBytes();
+  }
+  return total;
+}
+
+void TableCatalog::EnsureTableResident(uint32_t t) const {
+  TJ_CHECK(t < tables_.size());
+  TJ_CHECK(tables_[t].live);
+  tables_[t].table.EnsureResident();
+  tables_[t].last_touch = ++touch_clock_;
+}
+
+void TableCatalog::EnforceMemoryBudget() const {
+  if (!storage_.spill_enabled() || storage_.memory_budget_bytes == 0) return;
+  size_t resident = ResidentCellBytes();
+  if (resident <= storage_.memory_budget_bytes) return;
+  // Coldest-first: sort live resident spilled tables by last touch and
+  // evict until the budget holds. The newest entry is spared so the table
+  // being worked on is never evicted under its caller.
+  std::vector<const TableEntry*> candidates;
+  uint64_t newest = 0;
+  for (const TableEntry& entry : tables_) {
+    if (!entry.live) continue;
+    newest = std::max(newest, entry.last_touch);
+    if (entry.table.spilled() && entry.table.resident()) {
+      candidates.push_back(&entry);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TableEntry* a, const TableEntry* b) {
+              return a->last_touch < b->last_touch;
+            });
+  for (const TableEntry* entry : candidates) {
+    if (resident <= storage_.memory_budget_bytes) break;
+    if (entry->last_touch == newest) break;
+    const size_t bytes = entry->table.ResidentBytes();
+    entry->table.Evict();
+    resident -= bytes < resident ? bytes : resident;
+  }
 }
 
 void TableCatalog::ComputeSignatures(ThreadPool* pool) {
@@ -321,6 +405,9 @@ void TableCatalog::ComputeSignatures(ThreadPool* pool) {
   } else {
     for (ColumnRef ref : missing) compute(ref);
   }
+  // The sketch pass streams spilled columns block-wise, but re-mapped
+  // tables may now exceed the budget again; settle it before returning.
+  EnforceMemoryBudget();
 }
 
 bool TableCatalog::HasSignature(ColumnRef ref) const {

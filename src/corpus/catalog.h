@@ -19,6 +19,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
@@ -47,14 +48,24 @@ struct ColumnRef {
 };
 
 /// Order-sensitive content hash of a table: column count, column names, and
-/// every cell. Keys the v2 signature cache, so a reloaded sketch is only
-/// trusted when the table's bytes are unchanged since it was written.
+/// every cell, streamed in one pass (spilled columns release their pages
+/// block-wise, so fingerprinting an out-of-core table stays within one
+/// block of resident cells). Keys the v2 signature cache, so a reloaded
+/// sketch is only trusted when the table's bytes are unchanged since it was
+/// written.
 uint64_t TableFingerprint(const Table& table);
 
 class TableCatalog {
  public:
-  explicit TableCatalog(SignatureOptions options = SignatureOptions())
-      : options_(options) {}
+  /// `storage` selects the byte store for registered tables: with a
+  /// spill_dir every added table's arenas are rebuilt onto mmap-backed
+  /// spill files, and a non-zero memory_budget_bytes makes the catalog
+  /// evict cold frozen tables (least recently registered/touched first)
+  /// whenever the resident cell bytes exceed the budget. Evicted tables
+  /// are transparently re-mapped by table()/column() on access.
+  explicit TableCatalog(SignatureOptions options = SignatureOptions(),
+                        StorageOptions storage = StorageOptions())
+      : options_(options), storage_(std::move(storage)) {}
 
   /// Registers a table and returns its stable id. Fails on an empty or
   /// duplicate table name (names key the serialized signature cache, so
@@ -76,7 +87,10 @@ class TableCatalog {
   Result<uint32_t> UpdateTable(Table table);
 
   /// Registers every `*.csv` file of a directory (non-recursive), in
-  /// filename order, as a table named after the file stem.
+  /// filename order, as a table named after the file stem. Unreadable or
+  /// unparseable files are skipped with a warning on stderr instead of
+  /// aborting the scan; table bytes land on this catalog's StorageOptions
+  /// backends (block-streamed straight into spill files when configured).
   Status AddCsvDirectory(const std::string& dir,
                          const CsvOptions& csv = CsvOptions());
 
@@ -88,7 +102,9 @@ class TableCatalog {
   bool IsLive(uint32_t t) const {
     return t < tables_.size() && tables_[t].live;
   }
-  /// Requires IsLive(t) (TJ_CHECK).
+  /// Requires IsLive(t) (TJ_CHECK). Transparently re-maps a table the
+  /// budget enforcement evicted (safe under concurrent readers: racing
+  /// re-maps are serialized per column).
   const Table& table(uint32_t t) const;
   Result<uint32_t> TableIndex(std::string_view name) const;
 
@@ -102,6 +118,27 @@ class TableCatalog {
   const Column& column(ColumnRef ref) const;
 
   const SignatureOptions& signature_options() const { return options_; }
+  const StorageOptions& storage_options() const { return storage_; }
+
+  // -------------------------------------------------------------------
+  // Out-of-core accounting and eviction (spilled catalogs; see ctor).
+  // -------------------------------------------------------------------
+
+  /// Cell bytes of live tables currently addressable in RAM (evicted
+  /// tables contribute 0; lowercase shadows included).
+  size_t ResidentCellBytes() const;
+  /// Bytes held in spill files across live tables.
+  size_t SpilledBytes() const;
+  /// Re-maps an evicted table and marks it recently used (serial contexts;
+  /// plain table() access re-maps without touching the LRU clock).
+  void EnsureTableResident(uint32_t t) const;
+  /// Evicts least-recently-touched live frozen tables until the resident
+  /// cell bytes fit memory_budget_bytes. No-op without a spill_dir or
+  /// budget. Runs automatically after AddTable/UpdateTable and
+  /// ComputeSignatures; callers may also invoke it at their own sync
+  /// points. Must not race with readers of the evicted tables (re-map on
+  /// access makes later reads safe, but views held across the call die).
+  void EnforceMemoryBudget() const;
 
   /// Ensures every live column's signature is cached. Columns still missing
   /// one are computed — in parallel over columns when `pool` is given (each
@@ -146,11 +183,21 @@ class TableCatalog {
     std::vector<std::optional<ColumnSignature>> signatures;
     uint64_t fingerprint = 0;
     bool live = true;
+    /// LRU stamp for budget eviction; updated at serial touch points only
+    /// (registration, update, EnsureTableResident).
+    mutable uint64_t last_touch = 0;
   };
 
+  /// Applies this catalog's storage to a freshly registered table and
+  /// freezes it; shared by AddTable/UpdateTable.
+  void AdoptAndFreeze(Table* table) const;
+
   SignatureOptions options_;
+  StorageOptions storage_;
   std::vector<TableEntry> tables_;
   size_t num_live_ = 0;
+  /// Monotonic touch clock feeding TableEntry::last_touch.
+  mutable uint64_t touch_clock_ = 0;
   std::unordered_map<std::string, uint32_t, StringHash, StringEq>
       table_index_;
 };

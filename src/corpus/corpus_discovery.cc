@@ -1,6 +1,8 @@
 #include "corpus/corpus_discovery.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -59,6 +61,32 @@ void EvaluateShortlistOnPool(const TableCatalog& catalog,
   join_options.min_learning_pairs =
       std::max(join_options.min_learning_pairs, options.min_learning_pairs);
 
+  // Out-of-core catalogs under a memory budget: when the LAST shortlisted
+  // pair touching a table finishes, its worker writes back and drops the
+  // table's resident pages (views stay valid; re-reads would fault back
+  // in), so the run's RSS tracks the tables that still have pending pairs
+  // instead of accumulating the whole corpus. Refcounting — rather than
+  // releasing after every pair — keeps hot tables shared by many pairs
+  // from being synced and re-faulted once per pair. Releasing never
+  // changes bytes, so determinism is unaffected.
+  std::unique_ptr<std::atomic<uint32_t>[]> pending_pairs;
+  if (catalog.storage_options().spill_enabled() &&
+      catalog.storage_options().memory_budget_bytes > 0) {
+    pending_pairs =
+        std::make_unique<std::atomic<uint32_t>[]>(catalog.num_slots());
+    for (const ColumnPairCandidate& candidate : pruned.shortlist) {
+      pending_pairs[candidate.a.table].fetch_add(
+          1, std::memory_order_relaxed);
+      pending_pairs[candidate.b.table].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+  const auto finish_table = [&](uint32_t t) {
+    if (pending_pairs[t].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      catalog.table(t).ReleasePages();
+    }
+  };
+
   // One chunk per pair: pair costs vary wildly, so let the ticket scheduler
   // balance. Each pair writes its own shortlist-order slot — the merged
   // output never depends on scheduling or thread count.
@@ -67,9 +95,15 @@ void EvaluateShortlistOnPool(const TableCatalog& catalog,
                     [&](int /*worker*/, size_t /*chunk*/, size_t begin,
                         size_t end) {
                       for (size_t i = begin; i < end; ++i) {
+                        const ColumnPairCandidate& candidate =
+                            pruned.shortlist[i];
                         result->results[i] = EvaluatePair(
-                            catalog, pruned.shortlist[i], join_options,
+                            catalog, candidate, join_options,
                             options.use_orientation_hints);
+                        if (pending_pairs != nullptr) {
+                          finish_table(candidate.a.table);
+                          finish_table(candidate.b.table);
+                        }
                       }
                     });
 }

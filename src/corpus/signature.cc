@@ -48,9 +48,12 @@ ColumnSignature ComputeColumnSignature(const Column& column,
   std::unordered_set<uint64_t> distinct;
   uint64_t total_length = 0;
   sig.min_length = column.empty() ? 0 : ~0u;
+  // One streaming pass in arena order; on a spilled column the pages
+  // behind each processed block are released before the next block is
+  // touched (ForEachCellStreamed), so sketching an out-of-core column
+  // faults it in one block at a time instead of pinning it whole.
   std::string lowered;  // reused across rows: one amortized allocation
-  for (size_t row = 0; row < column.size(); ++row) {
-    std::string_view text = column.Get(row);
+  ForEachCellStreamed(column, [&](std::string_view text) {
     if (options.lowercase) {
       lowered.clear();
       AppendLowerAscii(text, &lowered);
@@ -70,7 +73,7 @@ ColumnSignature ComputeColumnSignature(const Column& column,
         if (h < sig.minhash[i]) sig.minhash[i] = h;
       }
     });
-  }
+  });
   sig.distinct_ngrams = distinct.size();
   if (!column.empty()) {
     sig.mean_length = static_cast<double>(total_length) /

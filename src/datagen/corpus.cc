@@ -61,6 +61,9 @@ SynthCorpus GenerateSynthCorpus(const SynthCorpusOptions& options) {
 
     Pending source;
     source.table = ds.pair.source;
+    // Spill each table as it is produced: only the pair being generated is
+    // ever fully heap-resident.
+    source.table.AdoptStorage(options.storage);
     source.pair_index = i;
     source.is_source = true;
     source.joinable = true;
@@ -68,12 +71,15 @@ SynthCorpus GenerateSynthCorpus(const SynthCorpusOptions& options) {
 
     Pending target;
     target.table = ds.pair.target;
+    target.table.AdoptStorage(options.storage);
     target.pair_index = i;
     target.is_source = false;
     target.joinable = true;
     pending.push_back(std::move(target));
 
-    corpus.pairs.push_back(std::move(ds.pair));
+    if (options.keep_row_ground_truth) {
+      corpus.pairs.push_back(std::move(ds.pair));
+    }
   }
   // "noiseNN" under the default prefix (historical names), otherwise
   // "<prefix>-noiseNN" so merged corpora cannot clash.
@@ -82,6 +88,7 @@ SynthCorpus GenerateSynthCorpus(const SynthCorpusOptions& options) {
   for (size_t i = 0; i < options.num_noise_tables; ++i) {
     Pending noise;
     noise.table = MakeNoiseTable(noise_prefix, i, options.rows, &rng);
+    noise.table.AdoptStorage(options.storage);
     pending.push_back(std::move(noise));
   }
 

@@ -33,6 +33,19 @@ struct SynthCorpusOptions {
   /// can be merged into the same catalog without name clashes — the
   /// incremental-maintenance benches add tables this way.
   std::string name_prefix = "synth";
+
+  /// Byte store for the generated tables. With a spill_dir each table's
+  /// arenas are rebuilt onto mmap-backed spill files as it is generated, so
+  /// a corpus larger than RAM can be synthesized without ever holding more
+  /// than one table's cells on the heap — provided keep_row_ground_truth
+  /// is off (SynthCorpus::pairs is heap-backed).
+  StorageOptions storage;
+
+  /// When false, SynthCorpus::pairs (the heap-backed row-level golden
+  /// matchings) is left empty: each synth dataset is dropped as soon as
+  /// its tables are extracted. Turn off for out-of-core-scale generation;
+  /// table-level ground truth (SynthCorpus::golden) is always kept.
+  bool keep_row_ground_truth = true;
 };
 
 struct SynthCorpus {

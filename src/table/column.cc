@@ -1,17 +1,59 @@
 #include "table/column.h"
 
+#include <cstdio>
 #include <cstring>
 #include <memory>
 
 #include "common/strings.h"
+#include "table/spill_arena.h"
 
 namespace tj {
+namespace {
+
+/// The default byte store: one contiguous heap buffer with vector growth.
+class HeapArena final : public ArenaBackend {
+ public:
+  char* data() override { return bytes_.data(); }
+  size_t size() const override { return bytes_.size(); }
+  size_t capacity() const override { return bytes_.capacity(); }
+  void Resize(size_t new_size) override { bytes_.resize(new_size); }
+  void Reserve(size_t bytes) override { bytes_.reserve(bytes); }
+  size_t FootprintBytes() const override { return bytes_.capacity(); }
+  std::unique_ptr<ArenaBackend> CloneEmpty() const override {
+    return std::make_unique<HeapArena>();
+  }
+
+ private:
+  std::vector<char> bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArenaBackend> MakeArenaBackend(const std::string& spill_dir) {
+  if (spill_dir.empty()) return std::make_unique<HeapArena>();
+  auto spill = SpillArena::Create(spill_dir);
+  if (spill.ok()) return std::move(*spill);
+  // Spill failure degrades to the heap (results are identical on both
+  // backends; only the memory ceiling differs), so a bad spill directory
+  // never aborts an ingest mid-flight.
+  std::fprintf(stderr, "warning: %s; using heap arena\n",
+               spill.status().ToString().c_str());
+  return std::make_unique<HeapArena>();
+}
+
+ArenaBackend* Column::EnsureArena() {
+  if (arena_ == nullptr) {
+    arena_ = MakeArenaBackend(spill_dir_);
+    SyncBase();
+  }
+  return arena_.get();
+}
 
 Column::Column(std::string name, const std::vector<std::string>& values)
     : name_(std::move(name)) {
   size_t total = 0;
   for (const auto& v : values) total += v.size();
-  arena_.reserve(total);
+  ReserveChars(total);
   slots_.reserve(values.size());
   for (const auto& v : values) Append(v);
 }
@@ -21,7 +63,8 @@ Column::Column(const Column& other) { CopyFrom(other); }
 Column& Column::operator=(const Column& other) {
   if (this == &other) return *this;
   DropLowercaseCache();
-  arena_.clear();
+  arena_.reset();
+  SyncBase();
   slots_.clear();
   CopyFrom(other);
   return *this;
@@ -31,24 +74,36 @@ void Column::CopyFrom(const Column& other) {
   // Copies compact: only live cell bytes are transferred, so dead space
   // orphaned by Set growth is reclaimed here (the copy-edit-UpdateTable
   // maintenance cycle stays O(live bytes) no matter how often it runs).
-  // Copies start unfrozen and cache-less: no outstanding views, mutable.
+  // Copies keep the backend kind but start unfrozen and cache-less: no
+  // outstanding views, mutable.
+  other.EnsureResident();
   name_ = other.name_;
-  arena_.reserve(other.CellBytes());
+  spill_dir_ = other.spill_dir_;
+  const size_t live = other.CellBytes();
   slots_.reserve(other.slots_.size());
-  for (const Slot& s : other.slots_) {
-    Slot copied;
-    copied.offset = arena_.size();
-    copied.length = s.length;
-    arena_.insert(arena_.end(), other.arena_.data() + s.offset,
-                  other.arena_.data() + s.offset + s.length);
-    slots_.push_back(copied);
+  if (live > 0) {
+    arena_ = other.arena_->CloneEmpty();
+    arena_->Resize(live);
+    char* dst = arena_->data();
+    const char* src = other.arena_->data();
+    size_t offset = 0;
+    for (const Slot& s : other.slots_) {
+      std::memcpy(dst + offset, src + s.offset, s.length);
+      slots_.push_back(Slot{offset, s.length});
+      offset += s.length;
+    }
+  } else {
+    for (const Slot& s : other.slots_) slots_.push_back(Slot{0, s.length});
   }
+  SyncBase();
   frozen_ = false;
 }
 
 Column::Column(Column&& other) noexcept
     : name_(std::move(other.name_)),
+      spill_dir_(std::move(other.spill_dir_)),
       arena_(std::move(other.arena_)),
+      base_(other.base_.exchange(nullptr, std::memory_order_relaxed)),
       slots_(std::move(other.slots_)),
       frozen_(other.frozen_),
       lowered_(other.lowered_.exchange(nullptr, std::memory_order_acq_rel)) {
@@ -59,7 +114,10 @@ Column& Column::operator=(Column&& other) noexcept {
   if (this == &other) return *this;
   DropLowercaseCache();
   name_ = std::move(other.name_);
+  spill_dir_ = std::move(other.spill_dir_);
   arena_ = std::move(other.arena_);
+  base_.store(other.base_.exchange(nullptr, std::memory_order_relaxed),
+              std::memory_order_relaxed);
   slots_ = std::move(other.slots_);
   frozen_ = other.frozen_;
   other.frozen_ = false;
@@ -70,7 +128,7 @@ Column& Column::operator=(Column&& other) noexcept {
 
 Column::~Column() { DropLowercaseCache(); }
 
-void Column::DropLowercaseCache() {
+void Column::DropLowercaseCache() const {
   if (lowered_.load(std::memory_order_relaxed) == nullptr) return;
   delete lowered_.exchange(nullptr, std::memory_order_acq_rel);
 }
@@ -87,27 +145,34 @@ void Column::AppendToArena(std::string_view value) {
   // Self-aliasing values (e.g. Append(col.Get(j))) survive the arena
   // reallocation: the offset is taken before the resize and the bytes are
   // re-read from the moved buffer.
-  const size_t self_offset = Aliases(value, arena_.data(), arena_.size())
-                                 ? static_cast<size_t>(value.data() -
-                                                       arena_.data())
-                                 : kNoSelfAlias;
-  const size_t old_size = arena_.size();
-  arena_.resize(old_size + value.size());
-  const char* src = self_offset != kNoSelfAlias ? arena_.data() + self_offset
+  ArenaBackend* arena = EnsureArena();
+  const size_t self_offset =
+      Aliases(value, arena->data(), arena->size())
+          ? static_cast<size_t>(value.data() - arena->data())
+          : kNoSelfAlias;
+  const size_t old_size = arena->size();
+  arena->Resize(old_size + value.size());
+  const char* src = self_offset != kNoSelfAlias ? arena->data() + self_offset
                                                 : value.data();
-  if (!value.empty()) std::memcpy(arena_.data() + old_size, src, value.size());
+  if (!value.empty()) std::memcpy(arena->data() + old_size, src, value.size());
+  SyncBase();
 }
 
 void Column::Append(std::string_view value) {
   TJ_CHECK(!frozen_);
   TJ_CHECK(value.size() <= 0xffffffffu);  // slot lengths are 32-bit
   Slot slot;
-  slot.offset = arena_.size();
+  slot.offset = arena_ != nullptr ? arena_->size() : 0;
   slot.length = static_cast<uint32_t>(value.size());
   AppendToArena(value);
   slots_.push_back(slot);
   // Dropped last: `value` may view the cached lowered shadow.
   DropLowercaseCache();
+}
+
+void Column::ReserveChars(size_t bytes) {
+  EnsureArena()->Reserve(bytes);
+  SyncBase();
 }
 
 void Column::Set(size_t row, std::string_view value) {
@@ -118,11 +183,11 @@ void Column::Set(size_t row, std::string_view value) {
   if (value.size() <= slot.length) {
     if (!value.empty()) {
       // memmove: `value` may view this arena, overlapping the target cell.
-      std::memmove(arena_.data() + slot.offset, value.data(), value.size());
+      std::memmove(arena_->data() + slot.offset, value.data(), value.size());
     }
     slot.length = static_cast<uint32_t>(value.size());
   } else {
-    slot.offset = arena_.size();
+    slot.offset = arena_ != nullptr ? arena_->size() : 0;
     slot.length = static_cast<uint32_t>(value.size());
     AppendToArena(value);
   }
@@ -130,12 +195,85 @@ void Column::Set(size_t row, std::string_view value) {
   DropLowercaseCache();
 }
 
+void Column::Evict() const {
+  if (arena_ == nullptr || !arena_->spilled() || !arena_->resident()) return;
+  // Eviction needs the freeze contract: an unfrozen column may have a
+  // mutator about to grow the unmapped buffer.
+  TJ_CHECK(frozen_);
+  DropLowercaseCache();
+  arena_->Evict();
+  SyncBase();
+}
+
+void Column::EnsureResident() const {
+  if (arena_ == nullptr) return;
+  if (!arena_->resident()) arena_->EnsureResident();
+  // Refresh base_ unconditionally: a racing EnsureResident on another
+  // thread may have re-mapped the arena after our residency check but
+  // before its own SyncBase ran — publishing the (identical) pointer again
+  // is harmless, while skipping it would let Get() read a null base on a
+  // resident column.
+  SyncBase();
+}
+
+void Column::ReleasePages() const {
+  if (arena_ != nullptr) arena_->ReleasePages();
+  const Column* shadow = lowered_.load(std::memory_order_acquire);
+  if (shadow != nullptr) shadow->ReleasePages();
+}
+
+void Column::ReleaseArenaRange(size_t begin, size_t end) const {
+  if (arena_ != nullptr) arena_->ReleasePages(begin, end);
+}
+
+void Column::AdoptStorage(const StorageOptions& storage) {
+  // No-op only when the bytes already live where `storage` puts them: same
+  // kind AND — for spill arenas — the same directory (a lazily created
+  // arena has no bytes yet, so retargeting its spill_dir_ suffices).
+  const bool already_there =
+      spilled() == storage.spill_enabled() &&
+      (!storage.spill_enabled() || arena_ == nullptr ||
+       arena_->SpillDir() == storage.spill_dir);
+  spill_dir_ = storage.spill_dir;
+  if (already_there) return;
+  EnsureResident();
+  // Rebuild compacted on the target backend. Views die like on a mutation,
+  // but the frozen flag survives — adopting storage changes where the bytes
+  // live, not what they are.
+  std::unique_ptr<ArenaBackend> fresh = MakeArenaBackend(spill_dir_);
+  const size_t live = CellBytes();
+  if (live > 0) {
+    fresh->Resize(live);
+    char* dst = fresh->data();
+    size_t offset = 0;
+    for (Slot& s : slots_) {
+      std::memcpy(dst + offset, arena_->data() + s.offset, s.length);
+      s.offset = offset;
+      offset += s.length;
+    }
+  } else {
+    for (Slot& s : slots_) s.offset = 0;
+  }
+  arena_ = std::move(fresh);
+  SyncBase();
+  DropLowercaseCache();
+}
+
 Column Column::LowercasedAsciiCopy() const {
+  EnsureResident();
   Column lowered;
   lowered.name_ = name_;
-  lowered.arena_ = arena_;
+  lowered.spill_dir_ = spill_dir_;
   lowered.slots_ = slots_;
-  ToLowerAsciiInPlace(lowered.arena_.data(), lowered.arena_.size());
+  if (arena_ != nullptr && arena_->size() > 0) {
+    // Same backend kind: a spilled column's shadow spills too, so releasing
+    // the column's pages can release the shadow's as well.
+    lowered.arena_ = arena_->CloneEmpty();
+    lowered.arena_->Resize(arena_->size());
+    std::memcpy(lowered.arena_->data(), arena_->data(), arena_->size());
+    ToLowerAsciiInPlace(lowered.arena_->data(), lowered.arena_->size());
+  }
+  lowered.SyncBase();
   lowered.frozen_ = true;
   return lowered;
 }
@@ -165,6 +303,21 @@ double Column::AverageLength() const {
 size_t Column::CellBytes() const {
   size_t total = 0;
   for (const Slot& s : slots_) total += s.length;
+  return total;
+}
+
+size_t Column::ResidentBytes() const {
+  size_t total =
+      arena_ != nullptr && arena_->resident() ? arena_->size() : 0;
+  const Column* shadow = lowered_.load(std::memory_order_acquire);
+  if (shadow != nullptr) total += shadow->ResidentBytes();
+  return total;
+}
+
+size_t Column::SpilledBytes() const {
+  size_t total = arena_ != nullptr ? arena_->SpilledBytes() : 0;
+  const Column* shadow = lowered_.load(std::memory_order_acquire);
+  if (shadow != nullptr) total += shadow->SpilledBytes();
   return total;
 }
 

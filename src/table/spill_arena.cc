@@ -1,0 +1,120 @@
+#include "table/spill_arena.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace tj {
+namespace {
+
+/// Spill growth floor: small columns still get a whole page's worth of file
+/// so the first few appends do not each pay a ftruncate+mmap cycle.
+constexpr size_t kMinSpillCapacity = 1 << 16;  // 64 KiB
+
+/// Process-wide spill-file sequence — names stay unique across columns,
+/// clones, and concurrent lowercase-shadow builds.
+std::atomic<uint64_t> g_spill_sequence{0};
+
+std::string NextSpillPath(const std::string& dir) {
+  const uint64_t seq =
+      g_spill_sequence.fetch_add(1, std::memory_order_relaxed);
+  return (std::filesystem::path(dir) /
+          StrPrintf("tj-spill-%ld-%llu.bytes", static_cast<long>(::getpid()),
+                    static_cast<unsigned long long>(seq)))
+      .string();
+}
+
+[[noreturn]] void DieOnSpillError(const Status& status) {
+  // Growth failures (disk full, torn-down spill dir) have no error channel
+  // out of Append — fail loudly like the heap arena's bad_alloc would.
+  std::fprintf(stderr, "spill arena: %s\n", status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Status EnsureSpillDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create spill directory " + dir + ": " +
+                           ec.message());
+  }
+  auto probe = MmapFile::Create(NextSpillPath(dir));
+  if (!probe.ok()) return probe.status();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ArenaBackend>> SpillArena::Create(
+    std::string spill_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(spill_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create spill directory " + spill_dir +
+                           ": " + ec.message());
+  }
+  auto file = MmapFile::Create(NextSpillPath(spill_dir));
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<ArenaBackend>(
+      new SpillArena(std::move(spill_dir), std::move(*file)));
+}
+
+void SpillArena::Grow(size_t min_capacity) {
+  size_t target = file_.size() < kMinSpillCapacity ? kMinSpillCapacity
+                                                   : file_.size() * 2;
+  if (target < min_capacity) target = min_capacity;
+  const Status grown = file_.Resize(target);
+  if (!grown.ok()) DieOnSpillError(grown);
+  data_.store(file_.data(), std::memory_order_release);
+}
+
+void SpillArena::Resize(size_t new_size) {
+  TJ_CHECK(resident());  // growth on an evicted arena is a caller bug
+  if (new_size > file_.size()) Grow(new_size);
+  size_ = new_size;
+}
+
+void SpillArena::Reserve(size_t bytes) {
+  TJ_CHECK(resident());
+  if (bytes > file_.size()) Grow(bytes);
+}
+
+void SpillArena::Evict() {
+  std::lock_guard<std::mutex> lock(residency_mutex_);
+  if (!file_.mapped()) return;
+  const Status unmapped = file_.Unmap();
+  if (!unmapped.ok()) DieOnSpillError(unmapped);
+  data_.store(nullptr, std::memory_order_release);
+  resident_.store(false, std::memory_order_release);
+}
+
+void SpillArena::EnsureResident() {
+  std::lock_guard<std::mutex> lock(residency_mutex_);
+  if (file_.mapped() || size_ == 0) return;
+  const Status mapped = file_.Remap();
+  if (!mapped.ok()) DieOnSpillError(mapped);
+  data_.store(file_.data(), std::memory_order_release);
+  resident_.store(true, std::memory_order_release);
+}
+
+void SpillArena::ReleasePages() { ReleasePages(0, size_); }
+
+void SpillArena::ReleasePages(size_t begin, size_t end) {
+  if (!file_.mapped() || size_ == 0 || begin >= end) return;
+  const Status released =
+      file_.ReleasePages(begin, end < size_ ? end : size_);
+  if (!released.ok()) {
+    // Releasing is an optimization; warn but keep going.
+    std::fprintf(stderr, "warning: %s\n", released.ToString().c_str());
+  }
+}
+
+std::unique_ptr<ArenaBackend> SpillArena::CloneEmpty() const {
+  return MakeArenaBackend(spill_dir_);
+}
+
+}  // namespace tj

@@ -61,6 +61,56 @@ class Table {
     return total;
   }
 
+  // -------------------------------------------------------------------
+  // Out-of-core controls: column-wise forwarding of the spill levers
+  // (see the lifetime rules in table/column.h).
+  // -------------------------------------------------------------------
+
+  /// True when any column's arena is file-backed.
+  bool spilled() const {
+    for (const Column& c : columns_) {
+      if (c.spilled()) return true;
+    }
+    return false;
+  }
+  /// False while any spilled column is evicted.
+  bool resident() const {
+    for (const Column& c : columns_) {
+      if (!c.resident()) return false;
+    }
+    return true;
+  }
+  /// Syncs every spilled column to its file and unmaps (frozen tables
+  /// only; views die). The catalog's budget enforcement calls this.
+  void Evict() const {
+    for (const Column& c : columns_) c.Evict();
+  }
+  /// Re-maps every evicted column (no-op when resident).
+  void EnsureResident() const {
+    for (const Column& c : columns_) c.EnsureResident();
+  }
+  /// Drops resident pages of every spilled column; views stay valid.
+  void ReleasePages() const {
+    for (const Column& c : columns_) c.ReleasePages();
+  }
+  /// Rebuilds every column on the backend `storage` selects (no-op for
+  /// columns already on the right kind). Invalidates outstanding views.
+  void AdoptStorage(const StorageOptions& storage) {
+    for (Column& c : columns_) c.AdoptStorage(storage);
+  }
+  /// Arena bytes currently addressable in RAM across all columns.
+  size_t ResidentBytes() const {
+    size_t total = 0;
+    for (const Column& c : columns_) total += c.ResidentBytes();
+    return total;
+  }
+  /// Bytes held in spill files across all columns.
+  size_t SpilledBytes() const {
+    size_t total = 0;
+    for (const Column& c : columns_) total += c.SpilledBytes();
+    return total;
+  }
+
  private:
   std::string name_;
   std::vector<Column> columns_;
