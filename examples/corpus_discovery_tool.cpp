@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "benchlib/report.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "corpus/catalog.h"
@@ -51,6 +52,7 @@ int Usage(const char* argv0) {
       "          [--max-candidates N] [--support F] [--top K]\n"
       "          [--signatures cache.tj] [--out results.csv]\n"
       "          [--spill-dir DIR] [--memory-budget BYTES]\n"
+      "          [--failpoints SPEC]\n"
       "          [--add FILE]... [--remove NAME]... [--update FILE]...\n"
       "       %s --gen <dir> [--tables N] [--rows N] [--seed S]\n"
       "       %s --selftest\n"
@@ -65,7 +67,10 @@ int Usage(const char* argv0) {
       "      ok); cold tables are evicted to their spill files and\n"
       "      re-mapped on access. Requires --spill-dir\n"
       "  --add F / --remove NAME / --update F: incremental catalog\n"
-      "      maintenance; only the touched table's pairs are rescored\n",
+      "      maintenance; only the touched table's pairs are rescored\n"
+      "  --failpoints SPEC: arm fault-injection sites, e.g.\n"
+      "      'mmap/sync=p:0.5,errno:EIO;mmap/ftruncate=errno:ENOSPC'\n"
+      "      (requires a -DTJ_FAILPOINTS=ON build)\n",
       argv0, argv0, argv0);
   return 2;
 }
@@ -402,6 +407,18 @@ int main(int argc, char** argv) {
       ops.push_back({MaintenanceOp::kRemove, argv[++i]});
     } else if (std::strcmp(argv[i], "--update") == 0 && i + 1 < argc) {
       ops.push_back({MaintenanceOp::kUpdate, argv[++i]});
+    } else if (std::strcmp(argv[i], "--failpoints") == 0 && i + 1 < argc) {
+      if (!failpoint::CompiledIn()) {
+        std::fprintf(stderr,
+                     "--failpoints requires a -DTJ_FAILPOINTS=ON build\n");
+        return 2;
+      }
+      const Status armed = failpoint::ConfigureFromSpec(argv[++i]);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "invalid --failpoints spec: %s\n",
+                     armed.ToString().c_str());
+        return 2;
+      }
     } else {
       return Usage(argv[0]);
     }
@@ -420,11 +437,16 @@ int main(int argc, char** argv) {
   }
 
   TableCatalog catalog(SignatureOptions(), storage);
-  const Status loaded_dir = catalog.AddCsvDirectory(dir);
+  const auto loaded_dir = catalog.AddCsvDirectory(dir);
   if (!loaded_dir.ok()) {
     std::fprintf(stderr, "error loading %s: %s\n", dir.c_str(),
-                 loaded_dir.ToString().c_str());
+                 loaded_dir.status().ToString().c_str());
     return 1;
+  }
+  if (loaded_dir->skipped > 0) {
+    std::fprintf(stderr,
+                 "warning: skipped %zu unreadable file(s) under %s\n",
+                 loaded_dir->skipped, dir.c_str());
   }
   // The 2-table floor is checked after the --add/--remove/--update ops run:
   // an --add may bootstrap a 1-table directory into a valid catalog.

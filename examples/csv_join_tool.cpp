@@ -17,6 +17,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "core/serialization.h"
 #include "join/join_engine.h"
@@ -32,13 +33,17 @@ int Usage(const char* argv0) {
                "          [--support F] [--sample N] [--threads N] "
                "[--rules out.tj] [--out out.csv] [--golden pairs.csv]\n"
                "          [--spill-dir DIR] [--memory-budget BYTES]\n"
+               "          [--failpoints SPEC]\n"
                "       --threads N: worker threads for matching and "
                "discovery (0 = all cores, default)\n"
                "       --spill-dir DIR: stream both tables into mmap-backed "
                "arenas under DIR (inputs larger than RAM)\n"
                "       --memory-budget BYTES: with --spill-dir, release "
                "resident pages after ingest so matching faults cells "
-               "in on demand (k/m/g suffixes ok)\n",
+               "in on demand (k/m/g suffixes ok)\n"
+               "       --failpoints SPEC: arm fault-injection sites, e.g. "
+               "'mmap/sync=p:0.5,errno:EIO' "
+               "(requires a -DTJ_FAILPOINTS=ON build)\n",
                argv0);
   return 2;
 }
@@ -88,6 +93,18 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc) {
       golden_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--failpoints") == 0 && i + 1 < argc) {
+      if (!failpoint::CompiledIn()) {
+        std::fprintf(stderr,
+                     "--failpoints requires a -DTJ_FAILPOINTS=ON build\n");
+        return 2;
+      }
+      const Status armed = failpoint::ConfigureFromSpec(argv[++i]);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "invalid --failpoints spec: %s\n",
+                     armed.ToString().c_str());
+        return 2;
+      }
     } else {
       return Usage(argv[0]);
     }

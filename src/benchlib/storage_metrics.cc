@@ -5,6 +5,7 @@
 
 #include "index/inverted_index.h"
 #include "index/reference_postings.h"
+#include "table/storage_events.h"
 
 namespace tj {
 
@@ -67,9 +68,21 @@ void PrintStorageSummary(const StorageMetrics& m) {
       static_cast<unsigned long long>(m.reference.allocs),
       static_cast<unsigned long long>(m.reference.bytes),
       AllocCountingAvailable() ? "" : " [alloc hooks not linked]");
+  const StorageEventCounters events = GetStorageEventCounters();
+  if (events.heap_fallback_columns > 0 || events.spill_errors_recovered > 0) {
+    std::printf(
+        "storage degradation: %llu column(s) fell back to heap, %llu spill "
+        "error(s) recovered\n",
+        static_cast<unsigned long long>(events.heap_fallback_columns),
+        static_cast<unsigned long long>(events.spill_errors_recovered));
+  }
 }
 
 void WriteStorageJsonTail(std::FILE* f, const StorageMetrics& m) {
+  // The degradation counters are sampled at write time from the process-wide
+  // storage event counters, so every bench that ends with this tail reports
+  // them without plumbing (0/0 in a healthy run).
+  const StorageEventCounters events = GetStorageEventCounters();
   std::fprintf(
       f,
       "  \"cells_bytes\": %zu,\n"
@@ -77,6 +90,8 @@ void WriteStorageJsonTail(std::FILE* f, const StorageMetrics& m) {
       "  \"peak_rss_bytes\": %zu,\n"
       "  \"index_total_postings\": %zu,\n"
       "  \"index_memory_bytes\": %zu,\n"
+      "  \"heap_fallback_columns\": %llu,\n"
+      "  \"spill_errors_recovered\": %llu,\n"
       "  \"alloc_counting_available\": %s,\n"
       "  \"index_build_allocs\": %llu,\n"
       "  \"index_build_bytes_allocated\": %llu,\n"
@@ -85,6 +100,8 @@ void WriteStorageJsonTail(std::FILE* f, const StorageMetrics& m) {
       "}\n",
       m.cells_bytes, m.spilled_bytes, ReportedPeakRss(m),
       m.index_total_postings, m.index_memory_bytes,
+      static_cast<unsigned long long>(events.heap_fallback_columns),
+      static_cast<unsigned long long>(events.spill_errors_recovered),
       AllocCountingAvailable() ? "true" : "false",
       static_cast<unsigned long long>(m.csr.allocs),
       static_cast<unsigned long long>(m.csr.bytes),

@@ -8,11 +8,23 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include "common/failpoint.h"
+
 namespace tj {
 namespace {
 
 Status Errno(const std::string& what, const std::string& path) {
   return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Failpoint shim: a nonzero injected errno makes the seam fail exactly as
+/// if the syscall had returned -1 with that errno (the real call is
+/// skipped). Returns true when a fault was injected.
+bool Inject([[maybe_unused]] const char* site) {
+  const int injected = TJ_FAILPOINT(site);
+  if (injected == 0) return false;
+  errno = injected;
+  return true;
 }
 
 size_t PageSize() {
@@ -58,7 +70,9 @@ MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
 }
 
 Result<MmapFile> MmapFile::Create(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  const int fd = Inject("mmap/open")
+                     ? -1
+                     : ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
   if (fd < 0) return Errno("cannot create spill file", path);
   MmapFile file;
   file.fd_ = fd;
@@ -72,7 +86,10 @@ Status MmapFile::Resize(size_t bytes) {
     return Status::InvalidArgument("spill files only grow");
   }
   if (bytes == size_ && (mapped() || bytes == 0)) return Status::OK();
-  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+  // ftruncate failure (classically ENOSPC) leaves the old mapping and size
+  // fully intact: the caller still owns every byte it had.
+  if (Inject("mmap/ftruncate") ||
+      ::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
     return Errno("cannot grow spill file", path_);
   }
   if (data_ != nullptr) {
@@ -85,8 +102,28 @@ Status MmapFile::Resize(size_t bytes) {
 
 Status MmapFile::Sync() const {
   if (data_ == nullptr || size_ == 0) return Status::OK();
-  if (::msync(data_, size_, MS_SYNC) != 0) {
+  if (Inject("mmap/sync") || ::msync(data_, size_, MS_SYNC) != 0) {
     return Errno("msync failed on", path_);
+  }
+  return Status::OK();
+}
+
+Status MmapFile::ReadInto(char* dst, size_t bytes) const {
+  if (fd_ < 0) return Status::Internal("MmapFile::ReadInto on a closed file");
+  size_t off = 0;
+  while (off < bytes) {
+    const ssize_t n = Inject("mmap/read")
+                          ? -1
+                          : ::pread(fd_, dst + off, bytes - off,
+                                    static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("cannot read spill file", path_);
+    }
+    if (n == 0) {
+      return Status::IOError("short read from spill file " + path_);
+    }
+    off += static_cast<size_t>(n);
   }
   return Status::OK();
 }
@@ -104,10 +141,11 @@ Status MmapFile::ReleasePages(size_t begin, size_t end) const {
   const size_t length = last - first;
   // MS_SYNC before MADV_DONTNEED: dirty shared pages are guaranteed on disk
   // before the kernel is told their frames are droppable.
-  if (::msync(base, length, MS_SYNC) != 0) {
+  if (Inject("mmap/release-sync") || ::msync(base, length, MS_SYNC) != 0) {
     return Errno("msync failed on", path_);
   }
-  if (::madvise(base, length, MADV_DONTNEED) != 0) {
+  if (Inject("mmap/madvise") ||
+      ::madvise(base, length, MADV_DONTNEED) != 0) {
     return Errno("madvise failed on", path_);
   }
   return Status::OK();
@@ -124,8 +162,10 @@ Status MmapFile::Unmap() {
 Status MmapFile::Remap() {
   if (fd_ < 0) return Status::Internal("MmapFile::Remap on a closed file");
   if (data_ != nullptr || size_ == 0) return Status::OK();
-  void* mapped = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, MAP_SHARED,
-                        fd_, 0);
+  void* mapped = Inject("mmap/map")
+                     ? MAP_FAILED
+                     : ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                              MAP_SHARED, fd_, 0);
   if (mapped == MAP_FAILED) return Errno("mmap failed on", path_);
   data_ = static_cast<char*>(mapped);
   return Status::OK();

@@ -39,6 +39,11 @@ class MmapFile {
   /// Grows the file to `bytes` and (re)maps it read-write. The mapping may
   /// move: every pointer previously returned by data() is invalidated.
   /// Shrinking is not supported (spill arenas only grow).
+  ///
+  /// Failure ordering: when the ftruncate fails (e.g. ENOSPC) the old
+  /// mapping and size are untouched — the caller keeps every byte it had.
+  /// When the re-map after a successful grow fails, the mapping is lost
+  /// (data() == nullptr) but the bytes stay recoverable via ReadInto().
   Status Resize(size_t bytes);
 
   /// Base of the current mapping; nullptr while unmapped or empty.
@@ -50,6 +55,14 @@ class MmapFile {
 
   /// Flushes dirty pages of [0, size) to the file (blocking).
   Status Sync() const;
+
+  /// Reads [0, bytes) of the file into `dst` via pread, independent of the
+  /// mapping. Because the mapping is MAP_SHARED, bytes written through it
+  /// are coherent with read() on the same descriptor — so the file's
+  /// contents stay recoverable even after a Resize lost the mapping (mmap
+  /// failure after a successful ftruncate). The heap-fallback path of the
+  /// spill arena rescues column bytes through this.
+  Status ReadInto(char* dst, size_t bytes) const;
 
   /// Writes back and drops the resident pages whose byte range lies fully
   /// inside [begin, end) (page-granular, so partial edge pages stay). The

@@ -1,15 +1,22 @@
 #include "corpus/catalog.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "table/storage_events.h"
 
 namespace tj {
 namespace {
@@ -228,8 +235,8 @@ Result<uint32_t> TableCatalog::UpdateTable(Table table) {
   return id;
 }
 
-Status TableCatalog::AddCsvDirectory(const std::string& dir,
-                                     const CsvOptions& csv) {
+Result<TableCatalog::CsvDirectoryReport> TableCatalog::AddCsvDirectory(
+    const std::string& dir, const CsvOptions& csv) {
   namespace fs = std::filesystem;
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
@@ -245,15 +252,18 @@ Status TableCatalog::AddCsvDirectory(const std::string& dir,
     return Status::IOError("error listing " + dir + ": " + ec.message());
   }
   std::sort(files.begin(), files.end());
+  CsvDirectoryReport report;
   for (const fs::path& path : files) {
     // One bad file must not abort a repository scan: unreadable or
-    // unparseable entries (and name clashes) are warned about and skipped;
-    // every healthy table still loads.
+    // unparseable entries (and name clashes) are warned about and skipped —
+    // and counted, so callers can report the partial load; every healthy
+    // table still loads.
     auto table = ReadCsvFile(path.string(), csv, storage_);
     if (!table.ok()) {
       std::fprintf(stderr, "warning: skipping %s: %s\n",
                    path.string().c_str(),
                    table.status().ToString().c_str());
+      ++report.skipped;
       continue;
     }
     table->set_name(path.stem().string());
@@ -262,9 +272,12 @@ Status TableCatalog::AddCsvDirectory(const std::string& dir,
       std::fprintf(stderr, "warning: skipping %s: %s\n",
                    path.string().c_str(),
                    added.status().ToString().c_str());
+      ++report.skipped;
+      continue;
     }
+    ++report.added;
   }
-  return Status::OK();
+  return report;
 }
 
 const Table& TableCatalog::table(uint32_t t) const {
@@ -274,9 +287,26 @@ const Table& TableCatalog::table(uint32_t t) const {
   // evicted come back automatically. Called unconditionally — not gated on
   // resident() — so a caller racing another thread's in-flight re-map
   // still refreshes its column base pointers (racing re-maps serialize
-  // per column).
-  tables_[t].table.EnsureResident();
+  // per column). Best-effort: a re-map failure already fell back to the
+  // heap inside Column; the residual double-failure case is surfaced by
+  // ResidentTable for callers that can propagate it.
+  (void)tables_[t].table.EnsureResident();
   return tables_[t].table;
+}
+
+Result<const Table*> TableCatalog::ResidentTable(uint32_t t) const {
+  if (t >= tables_.size() || !tables_[t].live) {
+    return Status::NotFound(
+        StrPrintf("no live table with id %u", static_cast<unsigned>(t)));
+  }
+  TJ_RETURN_IF_ERROR(tables_[t].table.EnsureResident());
+  return &tables_[t].table;
+}
+
+const std::string& TableCatalog::table_name(uint32_t t) const {
+  TJ_CHECK(t < tables_.size());
+  TJ_CHECK(tables_[t].live);
+  return tables_[t].table.name();
 }
 
 Result<uint32_t> TableCatalog::TableIndex(std::string_view name) const {
@@ -317,8 +347,30 @@ const Column& TableCatalog::column(ColumnRef ref) const {
   TJ_CHECK(ref.table < tables_.size());
   TJ_CHECK(tables_[ref.table].live);
   const Column& column = tables_[ref.table].table.column(ref.column);
-  column.EnsureResident();  // unconditional — see table() above
+  (void)column.EnsureResident();  // unconditional — see table() above
   return column;
+}
+
+Result<const Column*> TableCatalog::ResidentColumn(ColumnRef ref) const {
+  if (ref.table >= tables_.size() || !tables_[ref.table].live) {
+    return Status::NotFound(StrPrintf("no live table with id %u",
+                                      static_cast<unsigned>(ref.table)));
+  }
+  const Table& owner = tables_[ref.table].table;
+  if (ref.column >= owner.num_columns()) {
+    return Status::NotFound(StrPrintf(
+        "table '%s' has no column %u", owner.name().c_str(),
+        static_cast<unsigned>(ref.column)));
+  }
+  const Column& column = owner.column(ref.column);
+  TJ_RETURN_IF_ERROR(column.EnsureResident());
+  return &column;
+}
+
+const std::string& TableCatalog::column_name(ColumnRef ref) const {
+  TJ_CHECK(ref.table < tables_.size());
+  TJ_CHECK(tables_[ref.table].live);
+  return tables_[ref.table].table.column(ref.column).name();
 }
 
 size_t TableCatalog::ResidentCellBytes() const {
@@ -337,11 +389,12 @@ size_t TableCatalog::SpilledBytes() const {
   return total;
 }
 
-void TableCatalog::EnsureTableResident(uint32_t t) const {
+Status TableCatalog::EnsureTableResident(uint32_t t) const {
   TJ_CHECK(t < tables_.size());
   TJ_CHECK(tables_[t].live);
-  tables_[t].table.EnsureResident();
+  TJ_RETURN_IF_ERROR(tables_[t].table.EnsureResident());
   tables_[t].last_touch = ++touch_clock_;
+  return Status::OK();
 }
 
 void TableCatalog::EnforceMemoryBudget() const {
@@ -367,9 +420,22 @@ void TableCatalog::EnforceMemoryBudget() const {
   for (const TableEntry* entry : candidates) {
     if (resident <= storage_.memory_budget_bytes) break;
     if (entry->last_touch == newest) break;
-    const size_t bytes = entry->table.ResidentBytes();
-    entry->table.Evict();
-    resident -= bytes < resident ? bytes : resident;
+    const size_t before = entry->table.ResidentBytes();
+    const Status evicted = entry->table.Evict();
+    // Count what actually left RAM: a sync failure keeps that column (and
+    // its possibly-unsynced pages) resident by design — skip the table,
+    // keep going with colder candidates, and let the budget run over
+    // rather than risk dropping bytes the disk never confirmed.
+    const size_t after = entry->table.ResidentBytes();
+    const size_t freed = before > after ? before - after : 0;
+    resident -= freed < resident ? freed : resident;
+    if (!evicted.ok()) {
+      std::fprintf(stderr,
+                   "warning: budget eviction skipping table '%s': %s\n",
+                   entry->table.name().c_str(),
+                   evicted.ToString().c_str());
+      RecordSpillErrorRecovered();
+    }
   }
 }
 
@@ -386,8 +452,22 @@ void TableCatalog::ComputeSignatures(ThreadPool* pool) {
   if (missing.empty()) return;
 
   auto compute = [&](ColumnRef ref) {
+    // Fallible residency: a column whose bytes cannot be made readable
+    // (re-map AND file read failed) keeps a missing signature — the pruner
+    // skips pairs involving it, and a later ComputeSignatures retries once
+    // the fault clears — instead of aborting the whole sketch pass.
+    const auto resident = ResidentColumn(ref);
+    if (!resident.ok()) {
+      std::fprintf(stderr,
+                   "warning: skipping signature for column '%s.%s': %s\n",
+                   table_name(ref.table).c_str(),
+                   column_name(ref).c_str(),
+                   resident.status().ToString().c_str());
+      RecordSpillErrorRecovered();
+      return;
+    }
     tables_[ref.table].signatures[ref.column] =
-        ComputeColumnSignature(column(ref), options_);
+        ComputeColumnSignature(**resident, options_);
   };
   if (pool != nullptr && pool->size() > 1 && missing.size() > 1 &&
       !InParallelFor()) {
@@ -662,12 +742,73 @@ Status TableCatalog::LoadSignatures(std::string_view text) {
 }
 
 Status TableCatalog::SaveSignaturesToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  // Write-temp + fsync + rename: readers of `path` only ever see the old
+  // complete cache or the new complete cache — a crash or I/O failure at
+  // any point leaves the previous file byte-identical. (The durability of
+  // the rename itself would additionally need a directory fsync; for a
+  // cache that self-invalidates on fingerprint mismatch, atomicity is the
+  // property that matters.)
   const std::string text = SerializeSignatures();
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  out.flush();
-  if (!out) return Status::IOError("error writing " + path);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + tmp + " for writing: " +
+                           std::strerror(errno));
+  }
+  const auto fail = [&](const std::string& what) {
+    const int saved_errno = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError(what + " " + tmp + ": " +
+                           std::strerror(saved_errno));
+  };
+  size_t off = 0;
+  while (off < text.size()) {
+    const int injected = TJ_FAILPOINT("catalog/save-write");
+    ssize_t n;
+    if (injected != 0) {
+      errno = injected;
+      n = -1;
+    } else {
+      n = ::write(fd, text.data() + off, text.size() - off);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("cannot write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  {
+    const int injected = TJ_FAILPOINT("catalog/save-fsync");
+    if (injected != 0) {
+      errno = injected;
+      return fail("cannot fsync");
+    }
+  }
+  if (::fsync(fd) != 0) return fail("cannot fsync");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("cannot close " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  // The window the atomicity guarantee covers: a crash (or injected fault)
+  // after the temp file is complete but before the rename must leave the
+  // existing cache untouched.
+  {
+    const int injected = TJ_FAILPOINT("catalog/save-rename");
+    if (injected != 0) {
+      errno = injected;
+      ::unlink(tmp.c_str());
+      return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
+                             std::strerror(errno));
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved_errno = errno;
+    ::unlink(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
+                           std::strerror(saved_errno));
+  }
   return Status::OK();
 }
 

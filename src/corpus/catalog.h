@@ -86,13 +86,23 @@ class TableCatalog {
   /// (unchanged) table id.
   Result<uint32_t> UpdateTable(Table table);
 
+  /// Outcome of an AddCsvDirectory scan: how many files registered as
+  /// tables vs. were warn-skipped (unreadable, unparseable, name clash).
+  struct CsvDirectoryReport {
+    size_t added = 0;
+    size_t skipped = 0;
+  };
+
   /// Registers every `*.csv` file of a directory (non-recursive), in
   /// filename order, as a table named after the file stem. Unreadable or
   /// unparseable files are skipped with a warning on stderr instead of
-  /// aborting the scan; table bytes land on this catalog's StorageOptions
-  /// backends (block-streamed straight into spill files when configured).
-  Status AddCsvDirectory(const std::string& dir,
-                         const CsvOptions& csv = CsvOptions());
+  /// aborting the scan — the returned report carries the skip count so
+  /// callers can surface partial loads instead of silently serving less
+  /// corpus than the user pointed at. Table bytes land on this catalog's
+  /// StorageOptions backends (block-streamed straight into spill files
+  /// when configured).
+  Result<CsvDirectoryReport> AddCsvDirectory(
+      const std::string& dir, const CsvOptions& csv = CsvOptions());
 
   /// Live (non-removed) table count.
   size_t num_tables() const { return num_live_; }
@@ -104,8 +114,19 @@ class TableCatalog {
   }
   /// Requires IsLive(t) (TJ_CHECK). Transparently re-maps a table the
   /// budget enforcement evicted (safe under concurrent readers: racing
-  /// re-maps are serialized per column).
+  /// re-maps are serialized per column). The re-map is best-effort: a
+  /// failure is absorbed by the column's heap fallback, and only the
+  /// pathological double-failure leaves cells unreadable — fallible
+  /// (user-reachable) paths should go through ResidentTable/ResidentColumn
+  /// to see that error as a Status.
   const Table& table(uint32_t t) const;
+  /// Status-surfacing access for user-reachable paths: NotFound for a dead
+  /// or out-of-range id, the residency error when the table's bytes cannot
+  /// be made readable, the table otherwise.
+  Result<const Table*> ResidentTable(uint32_t t) const;
+  /// Table metadata without touching residency: printing a name must not
+  /// fault an evicted table back in. Requires IsLive(t) (TJ_CHECK).
+  const std::string& table_name(uint32_t t) const;
   Result<uint32_t> TableIndex(std::string_view name) const;
 
   /// Content fingerprint of a live table (computed at Add/Update time).
@@ -115,7 +136,12 @@ class TableCatalog {
   size_t num_columns() const;
   /// Every live column in catalog order (table-major).
   std::vector<ColumnRef> AllColumns() const;
+  /// Best-effort re-map like table() — see there for the fallible variant.
   const Column& column(ColumnRef ref) const;
+  /// Status-surfacing column access (see ResidentTable).
+  Result<const Column*> ResidentColumn(ColumnRef ref) const;
+  /// Column metadata without touching residency (see table_name).
+  const std::string& column_name(ColumnRef ref) const;
 
   const SignatureOptions& signature_options() const { return options_; }
   const StorageOptions& storage_options() const { return storage_; }
@@ -130,14 +156,18 @@ class TableCatalog {
   /// Bytes held in spill files across live tables.
   size_t SpilledBytes() const;
   /// Re-maps an evicted table and marks it recently used (serial contexts;
-  /// plain table() access re-maps without touching the LRU clock).
-  void EnsureTableResident(uint32_t t) const;
+  /// plain table() access re-maps without touching the LRU clock). Returns
+  /// the residency error when the table's bytes cannot be made readable.
+  Status EnsureTableResident(uint32_t t) const;
   /// Evicts least-recently-touched live frozen tables until the resident
   /// cell bytes fit memory_budget_bytes. No-op without a spill_dir or
   /// budget. Runs automatically after AddTable/UpdateTable and
   /// ComputeSignatures; callers may also invoke it at their own sync
   /// points. Must not race with readers of the evicted tables (re-map on
   /// access makes later reads safe, but views held across the call die).
+  /// A table whose sync fails is skipped — it stays resident (possibly
+  /// unsynced pages are never dropped; logged + counted) and colder
+  /// candidates are tried instead.
   void EnforceMemoryBudget() const;
 
   /// Ensures every live column's signature is cached. Columns still missing
@@ -174,6 +204,10 @@ class TableCatalog {
   /// nothing, forcing a rescan. Saving after a v1 load writes v2.
   Status LoadSignatures(std::string_view text);
 
+  /// Crash-safe save: serializes into `<path>.tmp`, fsyncs, then renames
+  /// into place — a crash or I/O error mid-save never corrupts an existing
+  /// cache file (the rename is atomic; on failure the temp file is
+  /// removed and `path` is untouched).
   Status SaveSignaturesToFile(const std::string& path) const;
   Status LoadSignaturesFromFile(const std::string& path);
 

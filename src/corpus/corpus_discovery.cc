@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
 
 #include "common/strings.h"
@@ -22,20 +23,36 @@ CorpusPairResult EvaluatePair(const TableCatalog& catalog,
   CorpusPairResult result;
   result.candidate = candidate;
 
+  // Fallible residency first: a pair whose column bytes are unreadable
+  // (spill I/O double-failure the storage layer could not absorb) degrades
+  // to an error-carrying result instead of aborting the fan-out.
+  const auto column_a = catalog.ResidentColumn(candidate.a);
+  const auto column_b = catalog.ResidentColumn(candidate.b);
+  if (!column_a.ok() || !column_b.ok()) {
+    const Status& bad =
+        !column_a.ok() ? column_a.status() : column_b.status();
+    result.source = candidate.a;
+    result.target = candidate.b;
+    result.error = bad.ToString();
+    std::fprintf(stderr, "warning: skipping shortlisted pair: %s\n",
+                 result.error.c_str());
+    return result;
+  }
+
   // The sketch hint reproduces PickSourceColumn bit-for-bit (mean_length ==
   // AverageLength), so hinted runs skip the per-pair column rescan.
   const bool a_is_source =
       use_orientation_hint
           ? candidate.a_is_source
-          : PickSourceColumn(catalog.column(candidate.a),
-                             catalog.column(candidate.b));
+          : PickSourceColumn(**column_a, **column_b);
   result.source = a_is_source ? candidate.a : candidate.b;
   result.target = a_is_source ? candidate.b : candidate.a;
 
   // join_options carries min_learning_pairs, so an unlearnable pair stops
   // right after candidate matching — no discovery, no equi-join.
   const JoinResult joined = TransformJoinColumns(
-      catalog.column(result.source), catalog.column(result.target),
+      a_is_source ? **column_a : **column_b,
+      a_is_source ? **column_b : **column_a,
       /*golden=*/nullptr, join_options);
   result.learning_pairs = joined.learning_pairs;
   result.joined_rows = joined.joined.size();
@@ -106,6 +123,10 @@ void EvaluateShortlistOnPool(const TableCatalog& catalog,
                         }
                       }
                     });
+
+  for (const CorpusPairResult& pair : result->results) {
+    if (!pair.error.empty()) ++result->failed_pairs;
+  }
 }
 
 }  // namespace
@@ -116,18 +137,33 @@ std::string CorpusDiscoveryResult::Describe(const TableCatalog& catalog,
       "column pairs: %zu total, %zu pruned (%.1f%%), %zu evaluated\n",
       total_column_pairs, pruned_pairs, 100.0 * PruningRatio(),
       results.size());
+  if (failed_pairs > 0) {
+    out += StrPrintf("  (%zu pair(s) skipped on storage errors)\n",
+                     failed_pairs);
+  }
   const size_t n = std::min(max_items, results.size());
   for (size_t i = 0; i < n; ++i) {
     const CorpusPairResult& r = results[i];
+    // Metadata-only accessors: describing results must never fault evicted
+    // tables back in (or abort on a column whose bytes became unreadable).
+    if (!r.error.empty()) {
+      out += StrPrintf("  %2zu. %s.%s <-> %s.%s  SKIPPED: %s\n", i + 1,
+                       catalog.table_name(r.source.table).c_str(),
+                       catalog.column_name(r.source).c_str(),
+                       catalog.table_name(r.target.table).c_str(),
+                       catalog.column_name(r.target).c_str(),
+                       r.error.c_str());
+      continue;
+    }
     const std::string best =
         r.transformations.empty() ? "-" : r.transformations.front();
     out += StrPrintf(
         "  %2zu. %s.%s -> %s.%s  score=%.3f pairs=%zu joined=%zu cov=%.2f  "
         "%s\n",
-        i + 1, catalog.table(r.source.table).name().c_str(),
-        catalog.column(r.source).name().c_str(),
-        catalog.table(r.target.table).name().c_str(),
-        catalog.column(r.target).name().c_str(), r.candidate.score,
+        i + 1, catalog.table_name(r.source.table).c_str(),
+        catalog.column_name(r.source).c_str(),
+        catalog.table_name(r.target.table).c_str(),
+        catalog.column_name(r.target).c_str(), r.candidate.score,
         r.learning_pairs, r.joined_rows, r.top_coverage, best.c_str());
   }
   return out;

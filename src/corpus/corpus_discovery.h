@@ -73,6 +73,11 @@ struct CorpusPairResult {
   /// Transformations applied for the join (pretty-printed, reloadable via
   /// core/serialization).
   std::vector<std::string> transformations;
+  /// Non-empty when the pair could not be evaluated (a column's bytes were
+  /// unreadable even after the storage layer's fallbacks): the Status text.
+  /// Such a result carries zero counts and no transformations — discovery
+  /// degrades per pair instead of crashing the run.
+  std::string error;
 };
 
 struct CorpusDiscoveryResult {
@@ -80,6 +85,9 @@ struct CorpusDiscoveryResult {
   size_t total_column_pairs = 0;
   /// Pairs rejected by the pruner's gates.
   size_t pruned_pairs = 0;
+  /// Shortlisted pairs that could not be evaluated (see
+  /// CorpusPairResult::error); 0 in a healthy run.
+  size_t failed_pairs = 0;
   /// Per-pair outcomes in shortlist (ranked) order.
   std::vector<CorpusPairResult> results;
 

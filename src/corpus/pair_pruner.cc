@@ -46,6 +46,10 @@ PairPrunerResult FinalizeShortlist(std::vector<ColumnPairCandidate> survivors,
 bool ScoreColumnPair(const TableCatalog& catalog, ColumnRef a, ColumnRef b,
                      const PairPrunerOptions& options,
                      ColumnPairCandidate* out) {
+  // A missing signature means ComputeSignatures could not read the column
+  // (spill I/O failure survived by the catalog): prune its pairs instead
+  // of aborting. In a healthy run every live column has a signature.
+  if (!catalog.HasSignature(a) || !catalog.HasSignature(b)) return false;
   const ColumnSignature& sig_a = catalog.signature(a);
   const ColumnSignature& sig_b = catalog.signature(b);
   if (sig_a.num_rows < options.min_rows ||

@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "table/spill_arena.h"
+#include "table/storage_events.h"
 
 namespace tj {
 namespace {
@@ -16,8 +17,18 @@ class HeapArena final : public ArenaBackend {
   char* data() override { return bytes_.data(); }
   size_t size() const override { return bytes_.size(); }
   size_t capacity() const override { return bytes_.capacity(); }
-  void Resize(size_t new_size) override { bytes_.resize(new_size); }
-  void Reserve(size_t bytes) override { bytes_.reserve(bytes); }
+  Status Resize(size_t new_size) override {
+    bytes_.resize(new_size);
+    return Status::OK();
+  }
+  Status Reserve(size_t bytes) override {
+    bytes_.reserve(bytes);
+    return Status::OK();
+  }
+  Status ReadBytes(char* dst) override {
+    if (!bytes_.empty()) std::memcpy(dst, bytes_.data(), bytes_.size());
+    return Status::OK();
+  }
   size_t FootprintBytes() const override { return bytes_.capacity(); }
   std::unique_ptr<ArenaBackend> CloneEmpty() const override {
     return std::make_unique<HeapArena>();
@@ -38,6 +49,8 @@ std::unique_ptr<ArenaBackend> MakeArenaBackend(const std::string& spill_dir) {
   // never aborts an ingest mid-flight.
   std::fprintf(stderr, "warning: %s; using heap arena\n",
                spill.status().ToString().c_str());
+  RecordHeapFallbackColumn();
+  RecordSpillErrorRecovered();
   return std::make_unique<HeapArena>();
 }
 
@@ -64,6 +77,7 @@ Column& Column::operator=(const Column& other) {
   if (this == &other) return *this;
   DropLowercaseCache();
   arena_.reset();
+  retired_arena_.reset();
   SyncBase();
   slots_.clear();
   CopyFrom(other);
@@ -76,14 +90,28 @@ void Column::CopyFrom(const Column& other) {
   // maintenance cycle stays O(live bytes) no matter how often it runs).
   // Copies keep the backend kind but start unfrozen and cache-less: no
   // outstanding views, mutable.
-  other.EnsureResident();
+  const Status resident = other.EnsureResident();
+  // EnsureResident already falls back to the heap on a re-map failure; an
+  // error here means the bytes are unreachable by mapping AND by reading
+  // the file — there is nothing to copy from.
+  TJ_CHECK(resident.ok());
   name_ = other.name_;
   spill_dir_ = other.spill_dir_;
   const size_t live = other.CellBytes();
   slots_.reserve(other.slots_.size());
   if (live > 0) {
     arena_ = other.arena_->CloneEmpty();
-    arena_->Resize(live);
+    const Status sized = arena_->Resize(live);
+    if (!sized.ok()) {
+      std::fprintf(stderr,
+                   "warning: column '%s': cannot size spill copy (%s); using "
+                   "heap arena\n",
+                   name_.c_str(), sized.ToString().c_str());
+      RecordHeapFallbackColumn();
+      RecordSpillErrorRecovered();
+      arena_ = std::make_unique<HeapArena>();
+      (void)arena_->Resize(live);
+    }
     char* dst = arena_->data();
     const char* src = other.arena_->data();
     size_t offset = 0;
@@ -103,6 +131,7 @@ Column::Column(Column&& other) noexcept
     : name_(std::move(other.name_)),
       spill_dir_(std::move(other.spill_dir_)),
       arena_(std::move(other.arena_)),
+      retired_arena_(std::move(other.retired_arena_)),
       base_(other.base_.exchange(nullptr, std::memory_order_relaxed)),
       slots_(std::move(other.slots_)),
       frozen_(other.frozen_),
@@ -116,6 +145,7 @@ Column& Column::operator=(Column&& other) noexcept {
   name_ = std::move(other.name_);
   spill_dir_ = std::move(other.spill_dir_);
   arena_ = std::move(other.arena_);
+  retired_arena_ = std::move(other.retired_arena_);
   base_.store(other.base_.exchange(nullptr, std::memory_order_relaxed),
               std::memory_order_relaxed);
   slots_ = std::move(other.slots_);
@@ -141,6 +171,28 @@ static bool Aliases(std::string_view value, const char* base, size_t size) {
   return v >= b && v < b + size;
 }
 
+Status Column::MigrateToHeap(const char* why, const Status& cause) const {
+  // Rescue the arena's bytes (offsets preserved — slots and self-alias
+  // offsets stay valid) onto a fresh heap arena. ReadBytes works even when
+  // the spill mapping is gone: a failed ftruncate kept the mapping, a
+  // failed re-map left the bytes readable through the file descriptor.
+  auto heap = std::make_unique<HeapArena>();
+  const size_t bytes = arena_->size();
+  (void)heap->Resize(bytes);
+  if (bytes > 0) TJ_RETURN_IF_ERROR(arena_->ReadBytes(heap->data()));
+  std::fprintf(stderr,
+               "warning: column '%s': %s (%s); falling back to heap arena\n",
+               name_.c_str(), why, cause.ToString().c_str());
+  RecordHeapFallbackColumn();
+  RecordSpillErrorRecovered();
+  // Retire (not destroy) the failed backend: concurrent readers may still
+  // be probing it through resident()/spilled().
+  retired_arena_ = std::move(arena_);
+  arena_ = std::move(heap);
+  SyncBase();
+  return Status::OK();
+}
+
 void Column::AppendToArena(std::string_view value) {
   // Self-aliasing values (e.g. Append(col.Get(j))) survive the arena
   // reallocation: the offset is taken before the resize and the bytes are
@@ -151,7 +203,20 @@ void Column::AppendToArena(std::string_view value) {
           ? static_cast<size_t>(value.data() - arena->data())
           : kNoSelfAlias;
   const size_t old_size = arena->size();
-  arena->Resize(old_size + value.size());
+  Status grown = arena->Resize(old_size + value.size());
+  if (!grown.ok()) {
+    // Spill growth failed (disk full, lost mapping): keep ingesting on the
+    // heap. Offsets survive the migration, so the pending slot and a
+    // self-aliasing source stay correct. The rescue read can only fail on a
+    // second, independent I/O failure — the bytes are unrecoverable then
+    // and continuing would corrupt the column.
+    const Status rescued =
+        MigrateToHeap("cannot grow spill arena for append", grown);
+    TJ_CHECK(rescued.ok());
+    arena = arena_.get();
+    grown = arena->Resize(old_size + value.size());
+    TJ_CHECK(grown.ok());  // heap growth only fails by throwing
+  }
   const char* src = self_offset != kNoSelfAlias ? arena->data() + self_offset
                                                 : value.data();
   if (!value.empty()) std::memcpy(arena->data() + old_size, src, value.size());
@@ -171,7 +236,16 @@ void Column::Append(std::string_view value) {
 }
 
 void Column::ReserveChars(size_t bytes) {
-  EnsureArena()->Reserve(bytes);
+  const Status reserved = EnsureArena()->Reserve(bytes);
+  if (!reserved.ok()) {
+    // Failing to pre-provision spill capacity is not fatal by itself, but
+    // it predicts growth failures; move to the heap now while the bytes are
+    // trivially rescuable instead of mid-append.
+    const Status rescued =
+        MigrateToHeap("cannot reserve spill capacity", reserved);
+    TJ_CHECK(rescued.ok());
+    (void)arena_->Reserve(bytes);
+  }
   SyncBase();
 }
 
@@ -195,25 +269,49 @@ void Column::Set(size_t row, std::string_view value) {
   DropLowercaseCache();
 }
 
-void Column::Evict() const {
-  if (arena_ == nullptr || !arena_->spilled() || !arena_->resident()) return;
+Status Column::Evict() const {
+  if (arena_ == nullptr || !arena_->spilled() || !arena_->resident()) {
+    return Status::OK();
+  }
   // Eviction needs the freeze contract: an unfrozen column may have a
   // mutator about to grow the unmapped buffer.
   TJ_CHECK(frozen_);
   DropLowercaseCache();
-  arena_->Evict();
+  // On failure (sync error) the arena stays resident — only the lowercase
+  // cache was dropped, and that is a rebuildable optimization.
+  const Status evicted = arena_->Evict();
   SyncBase();
+  return evicted;
 }
 
-void Column::EnsureResident() const {
-  if (arena_ == nullptr) return;
-  if (!arena_->resident()) arena_->EnsureResident();
+Status Column::EnsureResident() const {
+  if (arena_ == nullptr) return Status::OK();
+  if (!arena_->resident()) {
+    std::lock_guard<std::mutex> lock(fallback_mutex_);
+    // Re-check under the lock: a racing caller may have re-mapped or
+    // already migrated this column.
+    if (!arena_->resident()) {
+      const Status mapped = arena_->EnsureResident();
+      if (!mapped.ok()) {
+        // Re-map failed — rescue the bytes onto the heap (pread path) so
+        // reads keep working. Only a second, independent read failure
+        // leaves the column evicted and surfaces the error.
+        const Status rescued =
+            MigrateToHeap("cannot re-map spill arena", mapped);
+        if (!rescued.ok()) {
+          SyncBase();
+          return rescued;
+        }
+      }
+    }
+  }
   // Refresh base_ unconditionally: a racing EnsureResident on another
   // thread may have re-mapped the arena after our residency check but
   // before its own SyncBase ran — publishing the (identical) pointer again
   // is harmless, while skipping it would let Get() read a null base on a
   // resident column.
   SyncBase();
+  return Status::OK();
 }
 
 void Column::ReleasePages() const {
@@ -236,14 +334,35 @@ void Column::AdoptStorage(const StorageOptions& storage) {
        arena_->SpillDir() == storage.spill_dir);
   spill_dir_ = storage.spill_dir;
   if (already_there) return;
-  EnsureResident();
+  const Status resident = EnsureResident();
+  if (!resident.ok()) {
+    // The bytes are currently unreachable (re-map AND file read failed).
+    // Keep the existing backend — the file still holds the bytes, and a
+    // later EnsureResident retries once the fault clears.
+    std::fprintf(stderr,
+                 "warning: column '%s': cannot adopt storage (%s); keeping "
+                 "current backend\n",
+                 name_.c_str(), resident.ToString().c_str());
+    RecordSpillErrorRecovered();
+    return;
+  }
   // Rebuild compacted on the target backend. Views die like on a mutation,
   // but the frozen flag survives — adopting storage changes where the bytes
   // live, not what they are.
   std::unique_ptr<ArenaBackend> fresh = MakeArenaBackend(spill_dir_);
   const size_t live = CellBytes();
   if (live > 0) {
-    fresh->Resize(live);
+    const Status sized = fresh->Resize(live);
+    if (!sized.ok()) {
+      std::fprintf(stderr,
+                   "warning: column '%s': cannot size adopted spill arena "
+                   "(%s); using heap arena\n",
+                   name_.c_str(), sized.ToString().c_str());
+      RecordHeapFallbackColumn();
+      RecordSpillErrorRecovered();
+      fresh = std::make_unique<HeapArena>();
+      (void)fresh->Resize(live);
+    }
     char* dst = fresh->data();
     size_t offset = 0;
     for (Slot& s : slots_) {
@@ -260,7 +379,10 @@ void Column::AdoptStorage(const StorageOptions& storage) {
 }
 
 Column Column::LowercasedAsciiCopy() const {
-  EnsureResident();
+  const Status resident = EnsureResident();
+  // Like CopyFrom: EnsureResident only fails after the heap rescue failed
+  // too, leaving nothing to lowercase from.
+  TJ_CHECK(resident.ok());
   Column lowered;
   lowered.name_ = name_;
   lowered.spill_dir_ = spill_dir_;
@@ -269,7 +391,17 @@ Column Column::LowercasedAsciiCopy() const {
     // Same backend kind: a spilled column's shadow spills too, so releasing
     // the column's pages can release the shadow's as well.
     lowered.arena_ = arena_->CloneEmpty();
-    lowered.arena_->Resize(arena_->size());
+    const Status sized = lowered.arena_->Resize(arena_->size());
+    if (!sized.ok()) {
+      std::fprintf(stderr,
+                   "warning: column '%s': cannot size lowercase shadow "
+                   "(%s); using heap arena\n",
+                   name_.c_str(), sized.ToString().c_str());
+      RecordHeapFallbackColumn();
+      RecordSpillErrorRecovered();
+      lowered.arena_ = std::make_unique<HeapArena>();
+      (void)lowered.arena_->Resize(arena_->size());
+    }
     std::memcpy(lowered.arena_->data(), arena_->data(), arena_->size());
     ToLowerAsciiInPlace(lowered.arena_->data(), lowered.arena_->size());
   }

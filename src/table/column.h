@@ -53,12 +53,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 
 namespace tj {
 
@@ -98,9 +100,13 @@ class ArenaBackend {
   /// Bytes allocated (heap) or file bytes provisioned (spill).
   virtual size_t capacity() const = 0;
   /// Grows the logical size to `new_size` (grow-only; amortized geometric).
-  virtual void Resize(size_t new_size) = 0;
+  /// A spill backend can fail (disk full, torn-down directory) — it returns
+  /// the error without losing the bytes it already holds; Column reacts by
+  /// migrating the column onto a heap arena. The heap backend only fails by
+  /// throwing bad_alloc (genuine OOM stays fatal, like everywhere else).
+  virtual Status Resize(size_t new_size) = 0;
   /// Provisions capacity for `bytes` without changing size().
-  virtual void Reserve(size_t bytes) = 0;
+  virtual Status Reserve(size_t bytes) = 0;
 
   /// Memory held by this backend that counts against RAM (0 for an evicted
   /// spill arena; an upper bound — released-but-mapped pages still count).
@@ -113,9 +119,15 @@ class ArenaBackend {
   virtual std::string SpillDir() const { return {}; }
 
   /// Spill backends: sync + unmap / re-map / drop resident pages. No-ops
-  /// on the heap backend.
-  virtual void Evict() {}
-  virtual void EnsureResident() {}
+  /// on the heap backend. Evict fails (arena stays resident) when the sync
+  /// fails — possibly-unsynced pages are never dropped; EnsureResident
+  /// fails (arena stays evicted) when the re-map fails.
+  virtual Status Evict() { return Status::OK(); }
+  virtual Status EnsureResident() { return Status::OK(); }
+  /// Copies the logical bytes [0, size()) into `dst`. Works even when the
+  /// mapping of a spill backend is gone (reads the file directly) — the
+  /// rescue path of Column's heap fallback.
+  virtual Status ReadBytes(char* dst) = 0;
   virtual void ReleasePages() {}
   /// Range variant (byte offsets into the arena, page-granular): streamed
   /// scans release just the window they finished instead of sweeping the
@@ -208,11 +220,17 @@ class Column {
   }
   /// Frozen spilled columns only: sync to the spill file and unmap.
   /// Invalidates views and drops the lowercase cache; no-op on heap
-  /// columns. Must not race with readers.
-  void Evict() const;
+  /// columns. Must not race with readers. When the sync fails the column
+  /// STAYS resident (possibly-unsynced pages are never dropped) and the
+  /// error is returned — budget enforcement skips such tables.
+  Status Evict() const;
   /// Re-maps an evicted arena (no-op when resident). Views handed out
-  /// before the eviction stay dead — re-read through Get().
-  void EnsureResident() const;
+  /// before the eviction stay dead — re-read through Get(). When the
+  /// re-map fails, the bytes are rescued onto a heap arena instead (read
+  /// straight from the spill file; logged + counted in storage_events.h) —
+  /// only if that read fails too does this return the error and leave the
+  /// column evicted. Safe to race with itself.
+  Status EnsureResident() const;
   /// Writes back and drops resident pages of a spilled arena (and of its
   /// cached lowercase shadow) without unmapping: views stay valid, dropped
   /// pages fault back on access. Safe under concurrent readers; no-op on
@@ -291,12 +309,27 @@ class Column {
   /// Compacting deep copy (live cell bytes only); leaves *this unfrozen.
   void CopyFrom(const Column& other);
   void DropLowercaseCache() const;
+  /// Degradation lever: copies the arena's bytes (offsets preserved) onto a
+  /// fresh heap arena and swaps it in, retiring the failed spill backend.
+  /// Returns the read error (column unchanged) when even the byte rescue
+  /// fails. Logged + counted; callers hold fallback_mutex_ or have
+  /// exclusive (mutation) access.
+  Status MigrateToHeap(const char* why, const Status& cause) const;
 
   std::string name_;
   /// Spill directory new arenas are created in (empty = heap).
   std::string spill_dir_;
   /// Byte store; nullptr until the first byte lands (empty arena).
-  std::unique_ptr<ArenaBackend> arena_;
+  /// Mutable: the heap fallback may swap backends under a const read path
+  /// (EnsureResident) — serialized by fallback_mutex_.
+  mutable std::unique_ptr<ArenaBackend> arena_;
+  /// A spill backend replaced by the heap fallback is retired here instead
+  /// of being destroyed: concurrent readers of resident()/spilled() may
+  /// still be probing the old object. Freed when the column dies.
+  mutable std::unique_ptr<ArenaBackend> retired_arena_;
+  /// Serializes racing EnsureResident fallbacks (the only concurrent path
+  /// that may swap arena_). Never moved — moves/copies get a fresh mutex.
+  mutable std::mutex fallback_mutex_;
   /// Cached arena base pointer — keeps Get() free of virtual calls.
   /// Relaxed atomics: the only cross-thread transition is evicted->resident
   /// (EnsureResident), where racing callers store the same value.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include <unistd.h>
@@ -26,13 +27,6 @@ std::string NextSpillPath(const std::string& dir) {
           StrPrintf("tj-spill-%ld-%llu.bytes", static_cast<long>(::getpid()),
                     static_cast<unsigned long long>(seq)))
       .string();
-}
-
-[[noreturn]] void DieOnSpillError(const Status& status) {
-  // Growth failures (disk full, torn-down spill dir) have no error channel
-  // out of Append — fail loudly like the heap arena's bad_alloc would.
-  std::fprintf(stderr, "spill arena: %s\n", status.ToString().c_str());
-  std::abort();
 }
 
 }  // namespace
@@ -63,42 +57,62 @@ Result<std::unique_ptr<ArenaBackend>> SpillArena::Create(
       new SpillArena(std::move(spill_dir), std::move(*file)));
 }
 
-void SpillArena::Grow(size_t min_capacity) {
+Status SpillArena::Grow(size_t min_capacity) {
   size_t target = file_.size() < kMinSpillCapacity ? kMinSpillCapacity
                                                    : file_.size() * 2;
   if (target < min_capacity) target = min_capacity;
   const Status grown = file_.Resize(target);
-  if (!grown.ok()) DieOnSpillError(grown);
+  // Publish the file's mapping state whether or not the grow succeeded: a
+  // failed ftruncate kept the old mapping (arena unchanged), while a failed
+  // re-map lost it — readers must then see a non-resident arena whose bytes
+  // are still reachable through ReadBytes.
   data_.store(file_.data(), std::memory_order_release);
+  resident_.store(file_.mapped(), std::memory_order_release);
+  return grown;
 }
 
-void SpillArena::Resize(size_t new_size) {
+Status SpillArena::Resize(size_t new_size) {
   TJ_CHECK(resident());  // growth on an evicted arena is a caller bug
-  if (new_size > file_.size()) Grow(new_size);
+  if (new_size > file_.size()) TJ_RETURN_IF_ERROR(Grow(new_size));
   size_ = new_size;
+  return Status::OK();
 }
 
-void SpillArena::Reserve(size_t bytes) {
+Status SpillArena::Reserve(size_t bytes) {
   TJ_CHECK(resident());
-  if (bytes > file_.size()) Grow(bytes);
+  if (bytes > file_.size()) TJ_RETURN_IF_ERROR(Grow(bytes));
+  return Status::OK();
 }
 
-void SpillArena::Evict() {
+Status SpillArena::Evict() {
   std::lock_guard<std::mutex> lock(residency_mutex_);
-  if (!file_.mapped()) return;
-  const Status unmapped = file_.Unmap();
-  if (!unmapped.ok()) DieOnSpillError(unmapped);
+  if (!file_.mapped()) return Status::OK();
+  // Unmap syncs first and fails WITHOUT unmapping when the sync fails, so
+  // an error here leaves the arena fully resident — dirty pages are never
+  // dropped on the floor.
+  TJ_RETURN_IF_ERROR(file_.Unmap());
   data_.store(nullptr, std::memory_order_release);
   resident_.store(false, std::memory_order_release);
+  return Status::OK();
 }
 
-void SpillArena::EnsureResident() {
+Status SpillArena::EnsureResident() {
   std::lock_guard<std::mutex> lock(residency_mutex_);
-  if (file_.mapped() || size_ == 0) return;
-  const Status mapped = file_.Remap();
-  if (!mapped.ok()) DieOnSpillError(mapped);
+  if (file_.mapped() || size_ == 0) return Status::OK();
+  TJ_RETURN_IF_ERROR(file_.Remap());
   data_.store(file_.data(), std::memory_order_release);
   resident_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status SpillArena::ReadBytes(char* dst) {
+  if (size_ == 0) return Status::OK();
+  const char* base = data_.load(std::memory_order_acquire);
+  if (base != nullptr) {
+    std::memcpy(dst, base, size_);
+    return Status::OK();
+  }
+  return file_.ReadInto(dst, size_);
 }
 
 void SpillArena::ReleasePages() { ReleasePages(0, size_); }

@@ -40,8 +40,13 @@ class SpillArena final : public ArenaBackend {
   char* data() override { return data_.load(std::memory_order_acquire); }
   size_t size() const override { return size_; }
   size_t capacity() const override { return file_.size(); }
-  void Resize(size_t new_size) override;
-  void Reserve(size_t bytes) override;
+  /// Growth failure returns the error with size() unchanged. When the
+  /// ftruncate failed the mapping (and every byte) is intact; when the
+  /// re-map after a grow failed the arena reads as non-resident but the
+  /// bytes stay recoverable through ReadBytes — Column's heap fallback
+  /// rescues them either way.
+  Status Resize(size_t new_size) override;
+  Status Reserve(size_t bytes) override;
   size_t FootprintBytes() const override {
     return resident() ? file_.size() : 0;
   }
@@ -53,12 +58,18 @@ class SpillArena final : public ArenaBackend {
   std::string SpillDir() const override { return spill_dir_; }
 
   /// Syncs dirty pages to the file and unmaps. Must not race with readers
-  /// or growth (Column enforces the freeze contract before calling).
-  void Evict() override;
+  /// or growth (Column enforces the freeze contract before calling). A
+  /// failed sync returns the error and leaves the arena mapped/resident:
+  /// pages that may not have reached the disk are never dropped.
+  Status Evict() override;
   /// Re-maps an evicted file. Safe to race with other EnsureResident
   /// callers (first one re-maps; the rest see it mapped) — the catalog's
-  /// transparent re-map-on-access relies on this.
-  void EnsureResident() override;
+  /// transparent re-map-on-access relies on this. A failed re-map returns
+  /// the error with the arena still evicted (ReadBytes still works).
+  Status EnsureResident() override;
+  /// Copies [0, size()) into `dst`: memcpy when mapped, pread from the
+  /// spill file otherwise.
+  Status ReadBytes(char* dst) override;
   /// Writes back and drops resident pages without unmapping (see
   /// MmapFile::ReleasePages). Safe under concurrent readers.
   void ReleasePages() override;
@@ -71,7 +82,7 @@ class SpillArena final : public ArenaBackend {
       : spill_dir_(std::move(spill_dir)), file_(std::move(file)) {}
 
   /// Grows the file to at least `min_capacity` (geometric) and re-maps.
-  void Grow(size_t min_capacity);
+  Status Grow(size_t min_capacity);
 
   std::string spill_dir_;
   MmapFile file_;

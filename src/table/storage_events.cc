@@ -1,0 +1,35 @@
+#include "table/storage_events.h"
+
+#include <atomic>
+
+namespace tj {
+namespace {
+
+std::atomic<uint64_t> g_heap_fallback_columns{0};
+std::atomic<uint64_t> g_spill_errors_recovered{0};
+
+}  // namespace
+
+StorageEventCounters GetStorageEventCounters() {
+  StorageEventCounters counters;
+  counters.heap_fallback_columns =
+      g_heap_fallback_columns.load(std::memory_order_relaxed);
+  counters.spill_errors_recovered =
+      g_spill_errors_recovered.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void RecordHeapFallbackColumn() {
+  g_heap_fallback_columns.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecordSpillErrorRecovered() {
+  g_spill_errors_recovered.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResetStorageEventCounters() {
+  g_heap_fallback_columns.store(0, std::memory_order_relaxed);
+  g_spill_errors_recovered.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tj

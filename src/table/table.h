@@ -81,13 +81,26 @@ class Table {
     return true;
   }
   /// Syncs every spilled column to its file and unmaps (frozen tables
-  /// only; views die). The catalog's budget enforcement calls this.
-  void Evict() const {
-    for (const Column& c : columns_) c.Evict();
+  /// only; views die). The catalog's budget enforcement calls this. Every
+  /// column is attempted; the first error is returned (columns whose sync
+  /// failed stay resident — see Column::Evict).
+  Status Evict() const {
+    Status first;
+    for (const Column& c : columns_) {
+      const Status s = c.Evict();
+      if (first.ok() && !s.ok()) first = s;
+    }
+    return first;
   }
-  /// Re-maps every evicted column (no-op when resident).
-  void EnsureResident() const {
-    for (const Column& c : columns_) c.EnsureResident();
+  /// Re-maps every evicted column (no-op when resident). Every column is
+  /// attempted; the first error is returned.
+  Status EnsureResident() const {
+    Status first;
+    for (const Column& c : columns_) {
+      const Status s = c.EnsureResident();
+      if (first.ok() && !s.ok()) first = s;
+    }
+    return first;
   }
   /// Drops resident pages of every spilled column; views stay valid.
   void ReleasePages() const {

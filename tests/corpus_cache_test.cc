@@ -268,8 +268,8 @@ TEST_F(CsvEdgeCaseTest, QuotedSeparatorsAndEscapedQuotes) {
             "\"Smith, John\",\"123 Main St, Apt 4\"\n"
             "\"says \"\"hi\"\"\",plain\n");
   TableCatalog catalog;
-  const Status status = catalog.AddCsvDirectory(dir_.string());
-  ASSERT_TRUE(status.ok()) << status.ToString();
+  const auto report = catalog.AddCsvDirectory(dir_.string());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
   ASSERT_EQ(catalog.num_tables(), 1u);
   const Table& table = catalog.table(0);
   ASSERT_EQ(table.num_columns(), 2u);
@@ -282,8 +282,8 @@ TEST_F(CsvEdgeCaseTest, QuotedSeparatorsAndEscapedQuotes) {
 TEST_F(CsvEdgeCaseTest, CrlfLineEndings) {
   WriteFile("crlf.csv", "a,b\r\nv1,v2\r\nv3,v4\r\n");
   TableCatalog catalog;
-  const Status status = catalog.AddCsvDirectory(dir_.string());
-  ASSERT_TRUE(status.ok()) << status.ToString();
+  const auto report = catalog.AddCsvDirectory(dir_.string());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
   const Table& table = catalog.table(0);
   ASSERT_EQ(table.num_rows(), 2u);
   EXPECT_EQ(table.column(0).name(), "a");
@@ -296,8 +296,8 @@ TEST_F(CsvEdgeCaseTest, EmptyTrailingColumns) {
             "1,,\n"
             ",,3\n");
   TableCatalog catalog;
-  const Status status = catalog.AddCsvDirectory(dir_.string());
-  ASSERT_TRUE(status.ok()) << status.ToString();
+  const auto report = catalog.AddCsvDirectory(dir_.string());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
   const Table& table = catalog.table(0);
   ASSERT_EQ(table.num_columns(), 3u);
   ASSERT_EQ(table.num_rows(), 2u);
@@ -318,8 +318,8 @@ TEST_F(CsvEdgeCaseTest, NonUtf8BytesSurviveAndSketchCleanly) {
   bytes += "\nr2,plain\n";
   WriteFile("binary.csv", bytes);
   TableCatalog catalog;
-  const Status status = catalog.AddCsvDirectory(dir_.string());
-  ASSERT_TRUE(status.ok()) << status.ToString();
+  const auto report = catalog.AddCsvDirectory(dir_.string());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
   const Table& table = catalog.table(0);
   ASSERT_EQ(table.num_rows(), 2u);
   const std::string_view cell = table.column(1).Get(0);
@@ -344,8 +344,8 @@ TEST_F(CsvEdgeCaseTest, MixedDirectoryLoadsEveryFile) {
   WriteFile("c_plain.csv", "x\nv\n");
   WriteFile("ignored.txt", "not,a,csv\n");
   TableCatalog catalog;
-  const Status status = catalog.AddCsvDirectory(dir_.string());
-  ASSERT_TRUE(status.ok()) << status.ToString();
+  const auto report = catalog.AddCsvDirectory(dir_.string());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(catalog.num_tables(), 3u);
   EXPECT_EQ(catalog.table(0).name(), "a_quoted");
   EXPECT_EQ(catalog.table(1).name(), "b_crlf");

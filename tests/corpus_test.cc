@@ -194,8 +194,10 @@ TEST(TableCatalog, AddCsvDirectoryLoadsInFilenameOrder) {
   ASSERT_TRUE(WriteCsvFile(a, (dir / "a_table.csv").string()).ok());
 
   TableCatalog catalog;
-  const Status status = catalog.AddCsvDirectory(dir.string());
-  ASSERT_TRUE(status.ok()) << status.ToString();
+  const auto report = catalog.AddCsvDirectory(dir.string());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->added, 2u);
+  EXPECT_EQ(report->skipped, 0u);
   ASSERT_EQ(catalog.num_tables(), 2u);
   EXPECT_EQ(catalog.table(0).name(), "a_table");  // sorted by filename
   EXPECT_EQ(catalog.table(1).name(), "b_table");

@@ -388,8 +388,11 @@ TEST_F(SpillTest, AddCsvDirectorySkipsBadFilesWithWarning) {
     ragged << "a,b\n1,2,3\n";
   }
   TableCatalog catalog;
-  const Status status = catalog.AddCsvDirectory(dir_.string());
-  ASSERT_TRUE(status.ok()) << status.ToString();  // scan survives bad files
+  const auto report = catalog.AddCsvDirectory(dir_.string());
+  ASSERT_TRUE(report.ok())
+      << report.status().ToString();  // scan survives bad files
+  EXPECT_EQ(report->added, 1u);
+  EXPECT_EQ(report->skipped, 2u);  // bad.csv + ragged.csv, counted not fatal
   EXPECT_EQ(catalog.num_tables(), 1u);
   EXPECT_TRUE(catalog.TableIndex("good").ok());
 }
