@@ -29,6 +29,9 @@
 #include "corpus/corpus_discovery.h"
 #include "corpus/pair_pruner.h"
 #include "datagen/corpus.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "table/csv.h"
 
 namespace {
 
@@ -245,6 +248,130 @@ IncrementalOutcome MeasureIncrementalAdd(const tj::SynthCorpus& corpus,
   return outcome;
 }
 
+/// The joinability-as-a-service scenario: an in-process CorpusServer on the
+/// heap corpus, queried over its unix socket exactly like a tjd client.
+/// Measures per-query latency (p50/p99 over round-robin 'joinable' queries
+/// against every golden source column), sustained queries/s, and the cost
+/// of one mutation round trip — CSV re-read, signature recompute, pruner
+/// fold-in, and snapshot rebuild, i.e. the freshness price a live corpus
+/// pays per change.
+struct ServeOutcome {
+  double query_p50_us = 0.0;
+  double query_p99_us = 0.0;
+  double snapshot_rebuild_ms = 0.0;
+  double queries_per_second = 0.0;
+  size_t queries = 0;
+};
+
+ServeOutcome RunServed(const tj::SynthCorpus& corpus,
+                       const tj::CorpusDiscoveryOptions& options) {
+  using namespace tj;
+  namespace fs = std::filesystem;
+  ServeOutcome outcome;
+
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("tj_bench_serve_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string socket_path = dir + "/tjd.sock";
+
+  TableCatalog catalog;
+  for (const Table& table : corpus.tables) {
+    auto added = catalog.AddTable(table);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  ThreadPool pool(options.num_threads);
+  serve::ServeOptions serve_options;
+  serve_options.socket_path = socket_path;
+  serve_options.discovery = options;
+  serve::CorpusServer server(&catalog, &pool, serve_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<std::string> queries;
+  for (const auto& pair : corpus.golden) {
+    queries.push_back("{\"op\":\"joinable\",\"column\":\"" +
+                      corpus.tables[pair.source_table].name() +
+                      ".value\"}");
+  }
+
+  serve::ServeClient client;
+  if (!client.Connect(socket_path).ok()) {
+    std::fprintf(stderr, "serve: cannot connect to %s\n",
+                 socket_path.c_str());
+    std::exit(1);
+  }
+  // Warm up once per distinct query (first touch faults columns in).
+  for (const std::string& query : queries) {
+    if (!client.CallRaw(query).ok()) {
+      std::fprintf(stderr, "serve: warmup query failed\n");
+      std::exit(1);
+    }
+  }
+
+  const size_t rounds = std::max<size_t>(1, 200 / queries.size());
+  std::vector<double> latencies_us;
+  latencies_us.reserve(rounds * queries.size());
+  Stopwatch total;
+  for (size_t round = 0; round < rounds; ++round) {
+    for (const std::string& query : queries) {
+      Stopwatch per_query;
+      if (!client.CallRaw(query).ok()) {
+        std::fprintf(stderr, "serve: query failed mid-benchmark\n");
+        std::exit(1);
+      }
+      latencies_us.push_back(per_query.ElapsedSeconds() * 1e6);
+    }
+  }
+  const double total_seconds = total.ElapsedSeconds();
+  outcome.queries = latencies_us.size();
+  outcome.queries_per_second =
+      total_seconds > 0 ? static_cast<double>(outcome.queries) / total_seconds
+                        : 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto percentile = [&](double p) {
+    const size_t index = std::min(
+        latencies_us.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies_us.size())));
+    return latencies_us[index];
+  };
+  outcome.query_p50_us = percentile(0.50);
+  outcome.query_p99_us = percentile(0.99);
+
+  // One mutation round trip = the snapshot freshness cost. Updating a
+  // table with identical contents exercises the whole pipeline without
+  // changing the corpus.
+  const Table& victim = corpus.tables[corpus.golden[0].source_table];
+  const std::string csv = dir + "/" + victim.name() + ".csv";
+  if (!WriteCsvFile(victim, csv).ok()) {
+    std::fprintf(stderr, "serve: cannot write %s\n", csv.c_str());
+    std::exit(1);
+  }
+  Stopwatch rebuild;
+  const auto updated =
+      client.CallRaw("{\"op\":\"update\",\"path\":\"" + csv + "\"}");
+  outcome.snapshot_rebuild_ms = rebuild.ElapsedSeconds() * 1e3;
+  if (!updated.ok() ||
+      updated->find("\"ok\":true") == std::string::npos) {
+    std::fprintf(stderr, "serve: mutation round trip failed\n");
+    std::exit(1);
+  }
+
+  client.Close();
+  server.Shutdown();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return outcome;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -386,6 +513,13 @@ int main(int argc, char** argv) {
                 static_cast<double>(inc_half.rebuild_pairs)
           : 0.0);
 
+  const ServeOutcome served = RunServed(corpus, pruned_options);
+  std::printf(
+      "\nserved queries (tjd protocol, %zu queries): p50 %.0f us, p99 %.0f "
+      "us, %.0f queries/s; mutation->fresh snapshot %.1f ms\n",
+      served.queries, served.query_p50_us, served.query_p99_us,
+      served.queries_per_second, served.snapshot_rebuild_ms);
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -441,6 +575,13 @@ int main(int argc, char** argv) {
         spilled.total_cell_bytes, spilled.budget_bytes,
         spilled.rss_growth_bytes, spilled.seconds,
         spill_identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"query_p50_us\": %.3f,\n"
+                 "  \"query_p99_us\": %.3f,\n"
+                 "  \"snapshot_rebuild_ms\": %.3f,\n"
+                 "  \"queries_per_second\": %.3f,\n",
+                 served.query_p50_us, served.query_p99_us,
+                 served.snapshot_rebuild_ms, served.queries_per_second);
     WriteStorageJsonTail(f, storage);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());

@@ -5,6 +5,8 @@
 //                         [--max-candidates N] [--support F] [--top K]
 //                         [--signatures cache.tj] [--out results.csv]
 //                         [--add FILE]... [--remove NAME]... [--update FILE]...
+//   corpus_discovery_tool <csv-dir> --serve SOCKET [--watch DIR] [...]
+//   corpus_discovery_tool --client SOCKET JSON...
 //   corpus_discovery_tool --gen <dir> [--tables N] [--rows N] [--seed S]
 //   corpus_discovery_tool --selftest
 //
@@ -20,12 +22,22 @@
 // --add/--remove/--update apply catalog maintenance on top of the loaded
 // directory through the incremental pruner: each op rescores only the
 // touched table's column pairs (O(N) in catalog size) instead of rebuilding
-// the whole shortlist, and prints the per-op scoring cost. --gen writes a
+// the whole shortlist, and prints the per-op scoring cost.
+//
+// --serve turns the tool into tjd, a long-lived daemon answering joinable /
+// transform-join / add / update / remove / stats requests over a
+// unix-domain socket with snapshot-isolated epochs (serve/server.h has the
+// protocol); --watch additionally mirrors a directory's *.csv files into
+// the live catalog. --client is the matching one-shot request sender
+// (each JSON argument is sent as one frame; responses print one per line).
+//
+// --gen writes a
 // synthetic demo corpus (joinable pairs + noise tables) to a directory;
 // --selftest runs a set of named end-to-end checks on an in-memory corpus,
 // prints each failing check by name, and exits with the number of failed
 // checks (used as a ctest smoke test).
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -40,6 +52,8 @@
 #include "corpus/corpus_discovery.h"
 #include "corpus/pair_pruner.h"
 #include "datagen/corpus.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "table/csv.h"
 #include "table/spill_arena.h"
 
@@ -54,6 +68,8 @@ int Usage(const char* argv0) {
       "          [--spill-dir DIR] [--memory-budget BYTES]\n"
       "          [--failpoints SPEC]\n"
       "          [--add FILE]... [--remove NAME]... [--update FILE]...\n"
+      "       %s <csv-dir> --serve SOCKET [--watch DIR] [options]\n"
+      "       %s --client SOCKET JSON...\n"
       "       %s --gen <dir> [--tables N] [--rows N] [--seed S]\n"
       "       %s --selftest\n"
       "  --threads N: pair-level worker threads (0 = all cores, default)\n"
@@ -70,8 +86,15 @@ int Usage(const char* argv0) {
       "      maintenance; only the touched table's pairs are rescored\n"
       "  --failpoints SPEC: arm fault-injection sites, e.g.\n"
       "      'mmap/sync=p:0.5,errno:EIO;mmap/ftruncate=errno:ENOSPC'\n"
-      "      (requires a -DTJ_FAILPOINTS=ON build)\n",
-      argv0, argv0, argv0);
+      "      (requires a -DTJ_FAILPOINTS=ON build)\n"
+      "  --serve SOCKET: run as tjd, answering joinable/transform-join/\n"
+      "      add/update/remove/stats requests over the unix socket\n"
+      "      (length-prefixed JSON frames; snapshot-isolated epochs)\n"
+      "  --watch DIR: with --serve, mirror DIR's *.csv files into the\n"
+      "      live catalog (debounced; add/update/remove by file stem)\n"
+      "  --client SOCKET JSON...: send each JSON argument as one request\n"
+      "      to a running daemon and print each response on its own line\n",
+      argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -334,6 +357,81 @@ struct MaintenanceOp {
   std::string arg;  // CSV path for add/update, table name for remove
 };
 
+// ---------------------------------------------------------------------------
+// --client: one-shot request sender for a running daemon.
+// ---------------------------------------------------------------------------
+
+int RunClient(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: %s --client SOCKET JSON...\n", argv[0]);
+    return 2;
+  }
+  tj::serve::ServeClient client;
+  const tj::Status connected = client.Connect(argv[2]);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  int failed = 0;
+  for (int i = 3; i < argc; ++i) {
+    const auto response = client.CallRaw(argv[i]);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", response->c_str());
+    // Reflect protocol-level failures in the exit code so shell scripts
+    // can branch on them without parsing JSON.
+    const auto parsed = tj::serve::JsonValue::Parse(*response);
+    if (parsed.ok()) {
+      const tj::serve::JsonValue* ok = parsed->Find("ok");
+      if (ok != nullptr && ok->is_bool() && !ok->AsBool()) ++failed;
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// --serve: the tjd daemon loop.
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_signal_stop = 0;
+
+void OnStopSignal(int) { g_signal_stop = 1; }
+
+int RunDaemon(tj::TableCatalog* catalog, tj::serve::ServeOptions options,
+              int num_threads) {
+  // One pool for the daemon's whole life: signatures, shortlist
+  // maintenance, and every served query's per-pair fan-out (all serialized
+  // by the server's compute gate).
+  tj::ThreadPool pool(num_threads);
+  tj::serve::CorpusServer server(catalog, &pool, std::move(options));
+  const tj::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  const auto snapshot = server.current_snapshot();
+  std::printf("tjd: serving %zu tables (%zu columns, %zu shortlisted "
+              "pairs) at epoch %llu\n",
+              snapshot->num_tables(), snapshot->num_columns(),
+              snapshot->shortlist().shortlist.size(),
+              static_cast<unsigned long long>(snapshot->epoch()));
+  // WaitFor instead of Wait: a signal handler can only set a flag, so the
+  // main thread has to poll it between condition waits.
+  while (g_signal_stop == 0 && !server.WaitFor(200)) {
+  }
+  std::printf("tjd: shutting down (served %llu queries, applied %llu "
+              "mutations)\n",
+              static_cast<unsigned long long>(server.queries_served()),
+              static_cast<unsigned long long>(server.mutations_applied()));
+  server.Shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -341,6 +439,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
 
   if (std::strcmp(argv[1], "--selftest") == 0) return SelfTest();
+  if (std::strcmp(argv[1], "--client") == 0) return RunClient(argc, argv);
 
   if (std::strcmp(argv[1], "--gen") == 0) {
     if (argc < 3) return Usage(argv[0]);
@@ -369,11 +468,17 @@ int main(int argc, char** argv) {
   size_t top = 20;
   std::string signatures_path;
   std::string out_path;
+  std::string serve_socket;
+  std::string watch_dir;
   StorageOptions storage;
   std::vector<MaintenanceOp> ops;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.num_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_socket = argv[++i];
+    } else if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+      watch_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
       storage.spill_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--memory-budget") == 0 &&
@@ -424,8 +529,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (storage.memory_budget_bytes > 0 && !storage.spill_enabled()) {
-    std::fprintf(stderr, "--memory-budget requires --spill-dir\n");
+  // Reject malformed configuration up front with a message instead of a
+  // downstream TJ_CHECK abort: the same ValidateOptions surface the daemon
+  // uses to turn bad client requests into error responses.
+  {
+    const Status valid_discovery = ValidateOptions(options);
+    if (!valid_discovery.ok()) {
+      std::fprintf(stderr, "invalid options: %s\n",
+                   valid_discovery.ToString().c_str());
+      return 2;
+    }
+    const Status valid_storage = ValidateOptions(storage);
+    if (!valid_storage.ok()) {
+      std::fprintf(stderr, "invalid options: %s\n",
+                   valid_storage.ToString().c_str());
+      return 2;
+    }
+  }
+  if (!watch_dir.empty() && serve_socket.empty()) {
+    std::fprintf(stderr, "--watch requires --serve\n");
+    return Usage(argv[0]);
+  }
+  if (!serve_socket.empty() && !ops.empty()) {
+    std::fprintf(stderr,
+                 "--add/--remove/--update are client requests in serve "
+                 "mode; use --client\n");
     return Usage(argv[0]);
   }
   if (storage.spill_enabled()) {
@@ -468,6 +596,15 @@ int main(int argc, char** argv) {
       std::printf("loaded signature cache from %s\n",
                   signatures_path.c_str());
     }
+  }
+
+  if (!serve_socket.empty()) {
+    serve::ServeOptions serve_options;
+    serve_options.socket_path = serve_socket;
+    serve_options.watch_dir = watch_dir;
+    serve_options.discovery = options;
+    return RunDaemon(&catalog, std::move(serve_options),
+                     options.num_threads);
   }
 
   CorpusDiscoveryResult result;

@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace tj {
 
 class ThreadPool;
@@ -80,6 +82,13 @@ struct DiscoveryOptions {
   /// the serial reference path automatically (same results).
   ThreadPool* pool = nullptr;
 };
+
+/// Validates a DiscoveryOptions against the invariants the pipeline's
+/// internals otherwise only assert (TJ_CHECK) or silently misbehave on.
+/// Returns InvalidArgument naming the offending field, so a long-lived
+/// process (the serve daemon) can reject a malformed configuration instead
+/// of aborting at use time. Defaults always validate.
+Status ValidateOptions(const DiscoveryOptions& options);
 
 }  // namespace tj
 

@@ -185,15 +185,19 @@ Result<uint32_t> TableCatalog::AddTable(Table table) {
   const auto id = static_cast<uint32_t>(tables_.size());
   TableEntry entry;
   entry.signatures.resize(table.num_columns());
-  entry.table = std::move(table);
-  AdoptAndFreeze(&entry.table);
+  entry.table = std::make_shared<Table>(std::move(table));
+  AdoptAndFreeze(entry.table.get());
   // Fingerprint after adoption: the streamed hash then releases spilled
   // pages as it goes instead of faulting the whole table.
-  entry.fingerprint = TableFingerprint(entry.table);
+  entry.fingerprint = TableFingerprint(*entry.table);
   entry.last_touch = ++touch_clock_;
-  table_index_.emplace(entry.table.name(), id);
+  // Measured after the fingerprint pass so the counter reflects the pages
+  // the streamed hash already released.
+  BumpResidentBytes(0, entry.table->ResidentBytes());
+  table_index_.emplace(entry.table->name(), id);
   tables_.push_back(std::move(entry));
   ++num_live_;
+  ++mutation_epoch_;
   EnforceMemoryBudget();
   return id;
 }
@@ -204,12 +208,17 @@ Status TableCatalog::RemoveTable(std::string_view name) {
     return Status::NotFound("no table named '" + std::string(name) + "'");
   }
   TableEntry& entry = tables_[it->second];
-  entry.table = Table();
+  // The counter tracks catalog-visible tables: a snapshot still pinning
+  // this table keeps its bytes alive, but they stop counting against the
+  // catalog's budget the moment the entry is tombstoned.
+  BumpResidentBytes(entry.table->ResidentBytes(), 0);
+  entry.table.reset();
   entry.signatures.clear();
   entry.fingerprint = 0;
   entry.live = false;
   table_index_.erase(it);
   --num_live_;
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -222,15 +231,19 @@ Result<uint32_t> TableCatalog::UpdateTable(Table table) {
   const uint32_t id = it->second;
   TableEntry& entry = tables_[id];
   entry.signatures.assign(table.num_columns(), std::nullopt);
-  // Replacing the entry's table frees the old arena: any view into the old
-  // contents (cell views, ExamplePairs, cached lowered columns) dangles from
-  // here on. Shortlists are safe — they hold ColumnRefs (ids + scores), not
-  // views — but callers must not hold cell views across an update
-  // (tests/storage_view_test.cc exercises this under ASan).
-  entry.table = std::move(table);
-  AdoptAndFreeze(&entry.table);
-  entry.fingerprint = TableFingerprint(entry.table);
+  // Dropping the catalog's reference frees the old arena unless a snapshot
+  // still pins it (SharedTable): any *view* into the old contents held by
+  // this thread (cell views, ExamplePairs, cached lowered columns) dangles
+  // from here on. Shortlists are safe — they hold ColumnRefs (ids +
+  // scores), not views — but callers must not hold cell views across an
+  // update (tests/storage_view_test.cc exercises this under ASan).
+  BumpResidentBytes(entry.table->ResidentBytes(), 0);
+  entry.table = std::make_shared<Table>(std::move(table));
+  AdoptAndFreeze(entry.table.get());
+  entry.fingerprint = TableFingerprint(*entry.table);
   entry.last_touch = ++touch_clock_;
+  BumpResidentBytes(0, entry.table->ResidentBytes());
+  ++mutation_epoch_;
   EnforceMemoryBudget();
   return id;
 }
@@ -290,8 +303,18 @@ const Table& TableCatalog::table(uint32_t t) const {
   // per column). Best-effort: a re-map failure already fell back to the
   // heap inside Column; the residual double-failure case is surfaced by
   // ResidentTable for callers that can propagate it.
-  (void)tables_[t].table.EnsureResident();
-  return tables_[t].table;
+  const Table& table = *tables_[t].table;
+  if (budget_active()) {
+    // Account the re-fault so the budget counter sees reads, not just
+    // registrations. Racing readers can double-count the same re-map; the
+    // drift is upward-only and resynced by the next signature pass.
+    const size_t before = table.ResidentBytes();
+    (void)table.EnsureResident();
+    BumpResidentBytes(before, table.ResidentBytes());
+  } else {
+    (void)table.EnsureResident();
+  }
+  return table;
 }
 
 Result<const Table*> TableCatalog::ResidentTable(uint32_t t) const {
@@ -299,14 +322,28 @@ Result<const Table*> TableCatalog::ResidentTable(uint32_t t) const {
     return Status::NotFound(
         StrPrintf("no live table with id %u", static_cast<unsigned>(t)));
   }
-  TJ_RETURN_IF_ERROR(tables_[t].table.EnsureResident());
-  return &tables_[t].table;
+  const Table& table = *tables_[t].table;
+  if (budget_active()) {
+    const size_t before = table.ResidentBytes();
+    const Status resident = table.EnsureResident();
+    BumpResidentBytes(before, table.ResidentBytes());
+    TJ_RETURN_IF_ERROR(resident);
+  } else {
+    TJ_RETURN_IF_ERROR(table.EnsureResident());
+  }
+  return &table;
+}
+
+std::shared_ptr<const Table> TableCatalog::SharedTable(uint32_t t) const {
+  TJ_CHECK(t < tables_.size());
+  TJ_CHECK(tables_[t].live);
+  return tables_[t].table;
 }
 
 const std::string& TableCatalog::table_name(uint32_t t) const {
   TJ_CHECK(t < tables_.size());
   TJ_CHECK(tables_[t].live);
-  return tables_[t].table.name();
+  return tables_[t].table->name();
 }
 
 Result<uint32_t> TableCatalog::TableIndex(std::string_view name) const {
@@ -326,7 +363,7 @@ uint64_t TableCatalog::fingerprint(uint32_t t) const {
 size_t TableCatalog::num_columns() const {
   size_t total = 0;
   for (const TableEntry& entry : tables_) {
-    if (entry.live) total += entry.table.num_columns();
+    if (entry.live) total += entry.table->num_columns();
   }
   return total;
 }
@@ -336,7 +373,7 @@ std::vector<ColumnRef> TableCatalog::AllColumns() const {
   refs.reserve(num_columns());
   for (uint32_t t = 0; t < tables_.size(); ++t) {
     if (!tables_[t].live) continue;
-    for (uint32_t c = 0; c < tables_[t].table.num_columns(); ++c) {
+    for (uint32_t c = 0; c < tables_[t].table->num_columns(); ++c) {
       refs.push_back(ColumnRef{t, c});
     }
   }
@@ -346,8 +383,14 @@ std::vector<ColumnRef> TableCatalog::AllColumns() const {
 const Column& TableCatalog::column(ColumnRef ref) const {
   TJ_CHECK(ref.table < tables_.size());
   TJ_CHECK(tables_[ref.table].live);
-  const Column& column = tables_[ref.table].table.column(ref.column);
-  (void)column.EnsureResident();  // unconditional — see table() above
+  const Column& column = tables_[ref.table].table->column(ref.column);
+  if (budget_active()) {  // unconditional re-map — see table() above
+    const size_t before = column.ResidentBytes();
+    (void)column.EnsureResident();
+    BumpResidentBytes(before, column.ResidentBytes());
+  } else {
+    (void)column.EnsureResident();
+  }
   return column;
 }
 
@@ -356,27 +399,34 @@ Result<const Column*> TableCatalog::ResidentColumn(ColumnRef ref) const {
     return Status::NotFound(StrPrintf("no live table with id %u",
                                       static_cast<unsigned>(ref.table)));
   }
-  const Table& owner = tables_[ref.table].table;
+  const Table& owner = *tables_[ref.table].table;
   if (ref.column >= owner.num_columns()) {
     return Status::NotFound(StrPrintf(
         "table '%s' has no column %u", owner.name().c_str(),
         static_cast<unsigned>(ref.column)));
   }
   const Column& column = owner.column(ref.column);
-  TJ_RETURN_IF_ERROR(column.EnsureResident());
+  if (budget_active()) {
+    const size_t before = column.ResidentBytes();
+    const Status resident = column.EnsureResident();
+    BumpResidentBytes(before, column.ResidentBytes());
+    TJ_RETURN_IF_ERROR(resident);
+  } else {
+    TJ_RETURN_IF_ERROR(column.EnsureResident());
+  }
   return &column;
 }
 
 const std::string& TableCatalog::column_name(ColumnRef ref) const {
   TJ_CHECK(ref.table < tables_.size());
   TJ_CHECK(tables_[ref.table].live);
-  return tables_[ref.table].table.column(ref.column).name();
+  return tables_[ref.table].table->column(ref.column).name();
 }
 
 size_t TableCatalog::ResidentCellBytes() const {
   size_t total = 0;
   for (const TableEntry& entry : tables_) {
-    if (entry.live) total += entry.table.ResidentBytes();
+    if (entry.live) total += entry.table->ResidentBytes();
   }
   return total;
 }
@@ -384,7 +434,7 @@ size_t TableCatalog::ResidentCellBytes() const {
 size_t TableCatalog::SpilledBytes() const {
   size_t total = 0;
   for (const TableEntry& entry : tables_) {
-    if (entry.live) total += entry.table.SpilledBytes();
+    if (entry.live) total += entry.table->SpilledBytes();
   }
   return total;
 }
@@ -392,14 +442,48 @@ size_t TableCatalog::SpilledBytes() const {
 Status TableCatalog::EnsureTableResident(uint32_t t) const {
   TJ_CHECK(t < tables_.size());
   TJ_CHECK(tables_[t].live);
-  TJ_RETURN_IF_ERROR(tables_[t].table.EnsureResident());
+  const Table& table = *tables_[t].table;
+  if (budget_active()) {
+    const size_t before = table.ResidentBytes();
+    const Status resident = table.EnsureResident();
+    BumpResidentBytes(before, table.ResidentBytes());
+    TJ_RETURN_IF_ERROR(resident);
+  } else {
+    TJ_RETURN_IF_ERROR(table.EnsureResident());
+  }
   tables_[t].last_touch = ++touch_clock_;
   return Status::OK();
 }
 
+void TableCatalog::BumpResidentBytes(size_t before, size_t after) const {
+  if (!budget_active() || before == after) return;
+  if (after > before) {
+    resident_bytes_.fetch_add(after - before, std::memory_order_relaxed);
+    return;
+  }
+  // Clamp at zero: concurrent double-counted re-maps mean the counter can
+  // sit slightly above reality, so a subtraction may try to cross zero.
+  const size_t delta = before - after;
+  size_t current = resident_bytes_.load(std::memory_order_relaxed);
+  while (!resident_bytes_.compare_exchange_weak(
+      current, current > delta ? current - delta : 0,
+      std::memory_order_relaxed)) {
+  }
+}
+
+void TableCatalog::ResyncResidentBytes() const {
+  if (!budget_active()) return;
+  resident_bytes_.store(ResidentCellBytes(), std::memory_order_relaxed);
+}
+
 void TableCatalog::EnforceMemoryBudget() const {
-  if (!storage_.spill_enabled() || storage_.memory_budget_bytes == 0) return;
-  size_t resident = ResidentCellBytes();
+  if (!budget_active()) return;
+  // The running counter replaces the per-call ResidentCellBytes() rescan
+  // that made budgeted ingest O(N^2) in catalog size. It can lag lowercase
+  // shadows materialized behind the catalog's back (resynced at every
+  // ComputeSignatures), so enforcement may briefly overshoot the budget —
+  // never the other way around in a quiesced catalog.
+  size_t resident = CachedResidentBytes();
   if (resident <= storage_.memory_budget_bytes) return;
   // Coldest-first: sort live resident spilled tables by last touch and
   // evict until the budget holds. The newest entry is spared so the table
@@ -409,7 +493,7 @@ void TableCatalog::EnforceMemoryBudget() const {
   for (const TableEntry& entry : tables_) {
     if (!entry.live) continue;
     newest = std::max(newest, entry.last_touch);
-    if (entry.table.spilled() && entry.table.resident()) {
+    if (entry.table->spilled() && entry.table->resident()) {
       candidates.push_back(&entry);
     }
   }
@@ -420,19 +504,20 @@ void TableCatalog::EnforceMemoryBudget() const {
   for (const TableEntry* entry : candidates) {
     if (resident <= storage_.memory_budget_bytes) break;
     if (entry->last_touch == newest) break;
-    const size_t before = entry->table.ResidentBytes();
-    const Status evicted = entry->table.Evict();
+    const size_t before = entry->table->ResidentBytes();
+    const Status evicted = entry->table->Evict();
     // Count what actually left RAM: a sync failure keeps that column (and
     // its possibly-unsynced pages) resident by design — skip the table,
     // keep going with colder candidates, and let the budget run over
     // rather than risk dropping bytes the disk never confirmed.
-    const size_t after = entry->table.ResidentBytes();
+    const size_t after = entry->table->ResidentBytes();
     const size_t freed = before > after ? before - after : 0;
+    BumpResidentBytes(before, after);
     resident -= freed < resident ? freed : resident;
     if (!evicted.ok()) {
       std::fprintf(stderr,
                    "warning: budget eviction skipping table '%s': %s\n",
-                   entry->table.name().c_str(),
+                   entry->table->name().c_str(),
                    evicted.ToString().c_str());
       RecordSpillErrorRecovered();
     }
@@ -443,7 +528,7 @@ void TableCatalog::ComputeSignatures(ThreadPool* pool) {
   std::vector<ColumnRef> missing;
   for (uint32_t t = 0; t < tables_.size(); ++t) {
     if (!tables_[t].live) continue;
-    for (uint32_t c = 0; c < tables_[t].table.num_columns(); ++c) {
+    for (uint32_t c = 0; c < tables_[t].table->num_columns(); ++c) {
       if (!tables_[t].signatures[c].has_value()) {
         missing.push_back(ColumnRef{t, c});
       }
@@ -487,6 +572,10 @@ void TableCatalog::ComputeSignatures(ThreadPool* pool) {
   }
   // The sketch pass streams spilled columns block-wise, but re-mapped
   // tables may now exceed the budget again; settle it before returning.
+  // This is also the counter's resync point: the exact scan here folds in
+  // any lowercase shadows or double-counted re-maps the incremental
+  // accounting missed since the last pass.
+  ResyncResidentBytes();
   EnforceMemoryBudget();
 }
 
@@ -518,7 +607,7 @@ std::string TableCatalog::SerializeSignatures() const {
     }
     if (!any) continue;
     out += StrPrintf("table '%s' fp=%llu\n",
-                     EscapeForDisplay(entry.table.name()).c_str(),
+                     EscapeForDisplay(entry.table->name()).c_str(),
                      static_cast<unsigned long long>(entry.fingerprint));
     for (size_t c = 0; c < entry.signatures.size(); ++c) {
       const auto& sig = entry.signatures[c];
@@ -527,7 +616,7 @@ std::string TableCatalog::SerializeSignatures() const {
       out += StrPrintf(
           "column '%s' rows=%u distinct=%llu minlen=%u maxlen=%u meanlen=%a "
           "charset=%u\n",
-          EscapeForDisplay(entry.table.column(c).name()).c_str(),
+          EscapeForDisplay(entry.table->column(c).name()).c_str(),
           sig->num_rows, static_cast<unsigned long long>(sig->distinct_ngrams),
           sig->min_length, sig->max_length, sig->mean_length,
           sig->charset_mask);
@@ -683,7 +772,7 @@ Status TableCatalog::LoadSignatures(std::string_view text) {
         return fail("column before any table");
       }
       const uint32_t owner_id = current_table;
-      const Table& owner = tables_[owner_id].table;
+      const Table& owner = *tables_[owner_id].table;
       auto col = owner.ColumnIndex(*name);
       if (!col.ok()) {
         return fail("table '" + owner.name() + "' has no column '" + *name +
@@ -730,7 +819,7 @@ Status TableCatalog::LoadSignatures(std::string_view text) {
     if (sig.minhash.size() != options_.num_hashes) {
       return Status::InvalidArgument(
           "signatures: column '" +
-          tables_[ref.table].table.column(ref.column).name() +
+          tables_[ref.table].table->column(ref.column).name() +
           "' is missing its minhash line");
     }
   }

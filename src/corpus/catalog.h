@@ -14,7 +14,9 @@
 #ifndef TJ_CORPUS_CATALOG_H_
 #define TJ_CORPUS_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -55,7 +57,27 @@ struct ColumnRef {
 /// written.
 uint64_t TableFingerprint(const Table& table);
 
-class TableCatalog {
+/// The minimal read surface the per-pair engine needs to evaluate a
+/// shortlisted candidate: resolve a ColumnRef to resident cell bytes, plus
+/// the table/column names reporting wants. Implemented by TableCatalog (the
+/// live corpus) and by serve::CorpusSnapshot (an immutable epoch view), so
+/// discovery results computed against a snapshot are produced by exactly
+/// the code path a batch run uses — the byte-identity the serving layer's
+/// consistency contract rests on.
+class CorpusColumnSource {
+ public:
+  virtual ~CorpusColumnSource() = default;
+
+  /// Status-surfacing column access: NotFound for an unknown ref, the
+  /// residency error when the column's bytes cannot be made readable, the
+  /// (resident) column otherwise.
+  virtual Result<const Column*> ResidentColumn(ColumnRef ref) const = 0;
+  /// Metadata without touching residency (must not fault evicted bytes in).
+  virtual const std::string& table_name(uint32_t t) const = 0;
+  virtual const std::string& column_name(ColumnRef ref) const = 0;
+};
+
+class TableCatalog : public CorpusColumnSource {
  public:
   /// `storage` selects the byte store for registered tables: with a
   /// spill_dir every added table's arenas are rebuilt onto mmap-backed
@@ -66,6 +88,36 @@ class TableCatalog {
   explicit TableCatalog(SignatureOptions options = SignatureOptions(),
                         StorageOptions storage = StorageOptions())
       : options_(options), storage_(std::move(storage)) {}
+
+  /// Movable (factory-style construction in tests and tools). The atomic
+  /// resident-bytes counter deletes the defaulted moves, so these carry
+  /// its value explicitly; moving is only safe while no reader races the
+  /// source, which a move already requires of every other member.
+  TableCatalog(TableCatalog&& other) noexcept
+      : options_(std::move(other.options_)),
+        storage_(std::move(other.storage_)),
+        tables_(std::move(other.tables_)),
+        num_live_(other.num_live_),
+        mutation_epoch_(other.mutation_epoch_),
+        touch_clock_(other.touch_clock_),
+        resident_bytes_(
+            other.resident_bytes_.load(std::memory_order_relaxed)),
+        table_index_(std::move(other.table_index_)) {}
+  TableCatalog& operator=(TableCatalog&& other) noexcept {
+    if (this != &other) {
+      options_ = std::move(other.options_);
+      storage_ = std::move(other.storage_);
+      tables_ = std::move(other.tables_);
+      num_live_ = other.num_live_;
+      mutation_epoch_ = other.mutation_epoch_;
+      touch_clock_ = other.touch_clock_;
+      resident_bytes_.store(
+          other.resident_bytes_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      table_index_ = std::move(other.table_index_);
+    }
+    return *this;
+  }
 
   /// Registers a table and returns its stable id. Fails on an empty or
   /// duplicate table name (names key the serialized signature cache, so
@@ -124,10 +176,24 @@ class TableCatalog {
   /// or out-of-range id, the residency error when the table's bytes cannot
   /// be made readable, the table otherwise.
   Result<const Table*> ResidentTable(uint32_t t) const;
+  /// Shared ownership of a live table — the snapshot refcount seam. A
+  /// holder keeps the table (and its arena bytes) alive across a later
+  /// RemoveTable/UpdateTable of the same name, so an immutable snapshot
+  /// (serve::CorpusSnapshot) can keep answering queries against the epoch
+  /// it was built from while the catalog moves on. Does not touch
+  /// residency. Requires IsLive(t) (TJ_CHECK).
+  std::shared_ptr<const Table> SharedTable(uint32_t t) const;
   /// Table metadata without touching residency: printing a name must not
   /// fault an evicted table back in. Requires IsLive(t) (TJ_CHECK).
-  const std::string& table_name(uint32_t t) const;
+  const std::string& table_name(uint32_t t) const override;
   Result<uint32_t> TableIndex(std::string_view name) const;
+
+  /// Monotonically increasing mutation counter: bumped by every successful
+  /// AddTable/RemoveTable/UpdateTable (0 for a freshly constructed
+  /// catalog). The serving layer stamps each CorpusSnapshot with the value
+  /// at build time, so "which version answered this query" is a single
+  /// integer comparison.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
 
   /// Content fingerprint of a live table (computed at Add/Update time).
   uint64_t fingerprint(uint32_t t) const;
@@ -139,9 +205,9 @@ class TableCatalog {
   /// Best-effort re-map like table() — see there for the fallible variant.
   const Column& column(ColumnRef ref) const;
   /// Status-surfacing column access (see ResidentTable).
-  Result<const Column*> ResidentColumn(ColumnRef ref) const;
+  Result<const Column*> ResidentColumn(ColumnRef ref) const override;
   /// Column metadata without touching residency (see table_name).
-  const std::string& column_name(ColumnRef ref) const;
+  const std::string& column_name(ColumnRef ref) const override;
 
   const SignatureOptions& signature_options() const { return options_; }
   const StorageOptions& storage_options() const { return storage_; }
@@ -151,8 +217,22 @@ class TableCatalog {
   // -------------------------------------------------------------------
 
   /// Cell bytes of live tables currently addressable in RAM (evicted
-  /// tables contribute 0; lowercase shadows included).
+  /// tables contribute 0; lowercase shadows included). Exact: scans every
+  /// live table.
   size_t ResidentCellBytes() const;
+  /// The running resident-bytes counter budget enforcement reads instead
+  /// of rescanning every table per AddTable (the O(N^2) ingest debt from
+  /// the spill work). Maintained incrementally at catalog-mediated
+  /// residency transitions (add/update/remove, eviction, transparent
+  /// re-map on access) and resynced to the exact scan at every
+  /// ComputeSignatures. Between resyncs it can lag reality by lowercase
+  /// shadows the row matcher materializes behind the catalog's back —
+  /// enforcement may briefly overshoot by that much, never evict too much.
+  /// Equals ResidentCellBytes() whenever the catalog is quiesced after a
+  /// signature pass. Always 0 when no budget is active.
+  size_t CachedResidentBytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
   /// Bytes held in spill files across live tables.
   size_t SpilledBytes() const;
   /// Re-maps an evicted table and marks it recently used (serial contexts;
@@ -213,7 +293,9 @@ class TableCatalog {
 
  private:
   struct TableEntry {
-    Table table;
+    /// Shared so snapshots can pin a table across RemoveTable/UpdateTable
+    /// (see SharedTable); null once the entry is tombstoned.
+    std::shared_ptr<Table> table;
     std::vector<std::optional<ColumnSignature>> signatures;
     uint64_t fingerprint = 0;
     bool live = true;
@@ -226,12 +308,26 @@ class TableCatalog {
   /// freezes it; shared by AddTable/UpdateTable.
   void AdoptAndFreeze(Table* table) const;
 
+  /// Whether the resident-bytes counter is live (spill + budget).
+  bool budget_active() const {
+    return storage_.spill_enabled() && storage_.memory_budget_bytes != 0;
+  }
+  /// Adds a (possibly negative) delta to the running counter, clamped at 0.
+  void BumpResidentBytes(size_t before, size_t after) const;
+  /// Resets the counter to the exact scan (serial contexts only).
+  void ResyncResidentBytes() const;
+
   SignatureOptions options_;
   StorageOptions storage_;
   std::vector<TableEntry> tables_;
   size_t num_live_ = 0;
+  uint64_t mutation_epoch_ = 0;
   /// Monotonic touch clock feeding TableEntry::last_touch.
   mutable uint64_t touch_clock_ = 0;
+  /// Running resident-bytes estimate (see CachedResidentBytes). Atomic
+  /// because transparent re-maps on read paths bump it under concurrent
+  /// readers; relaxed ordering is enough for a budget hint.
+  mutable std::atomic<size_t> resident_bytes_{0};
   std::unordered_map<std::string, uint32_t, StringHash, StringEq>
       table_index_;
 };

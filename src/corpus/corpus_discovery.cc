@@ -16,7 +16,7 @@ namespace {
 /// inside the pair-level ParallelFor (where the shared pool degrades every
 /// inner phase to its serial path) or inline when the shortlist has a
 /// single pair (where the inner phases get the whole pool).
-CorpusPairResult EvaluatePair(const TableCatalog& catalog,
+CorpusPairResult EvaluatePair(const CorpusColumnSource& source,
                               const ColumnPairCandidate& candidate,
                               const JoinOptions& join_options,
                               bool use_orientation_hint) {
@@ -26,8 +26,8 @@ CorpusPairResult EvaluatePair(const TableCatalog& catalog,
   // Fallible residency first: a pair whose column bytes are unreadable
   // (spill I/O double-failure the storage layer could not absorb) degrades
   // to an error-carrying result instead of aborting the fan-out.
-  const auto column_a = catalog.ResidentColumn(candidate.a);
-  const auto column_b = catalog.ResidentColumn(candidate.b);
+  const auto column_a = source.ResidentColumn(candidate.a);
+  const auto column_b = source.ResidentColumn(candidate.b);
   if (!column_a.ok() || !column_b.ok()) {
     const Status& bad =
         !column_a.ok() ? column_a.status() : column_b.status();
@@ -61,9 +61,24 @@ CorpusPairResult EvaluatePair(const TableCatalog& catalog,
   return result;
 }
 
+/// Builds the per-pair JoinOptions every evaluation path shares: the one
+/// pool threaded through every inner phase plus the learning-pair floor.
+JoinOptions PairJoinOptions(const CorpusDiscoveryOptions& options,
+                            ThreadPool* pool) {
+  JoinOptions join_options = options.join;
+  join_options.discovery.pool = pool;
+  join_options.match_options.pool = pool;
+  join_options.min_learning_pairs =
+      std::max(join_options.min_learning_pairs, options.min_learning_pairs);
+  return join_options;
+}
+
 /// Shared pair-level fan-out: evaluates the shortlist on `pool`, one chunk
-/// per pair, each writing its own shortlist-order slot.
-void EvaluateShortlistOnPool(const TableCatalog& catalog,
+/// per pair, each writing its own shortlist-order slot. `release_catalog`
+/// (optional) enables the budgeted page-release refcounting below; a
+/// snapshot-backed source passes nullptr.
+void EvaluateShortlistOnPool(const CorpusColumnSource& source,
+                             const TableCatalog* release_catalog,
                              const PairPrunerResult& pruned,
                              const CorpusDiscoveryOptions& options,
                              ThreadPool* pool,
@@ -72,11 +87,7 @@ void EvaluateShortlistOnPool(const TableCatalog& catalog,
   result->pruned_pairs = pruned.pruned_pairs;
   if (pruned.shortlist.empty()) return;
 
-  JoinOptions join_options = options.join;
-  join_options.discovery.pool = pool;
-  join_options.match_options.pool = pool;
-  join_options.min_learning_pairs =
-      std::max(join_options.min_learning_pairs, options.min_learning_pairs);
+  const JoinOptions join_options = PairJoinOptions(options, pool);
 
   // Out-of-core catalogs under a memory budget: when the LAST shortlisted
   // pair touching a table finishes, its worker writes back and drops the
@@ -87,10 +98,11 @@ void EvaluateShortlistOnPool(const TableCatalog& catalog,
   // from being synced and re-faulted once per pair. Releasing never
   // changes bytes, so determinism is unaffected.
   std::unique_ptr<std::atomic<uint32_t>[]> pending_pairs;
-  if (catalog.storage_options().spill_enabled() &&
-      catalog.storage_options().memory_budget_bytes > 0) {
+  if (release_catalog != nullptr &&
+      release_catalog->storage_options().spill_enabled() &&
+      release_catalog->storage_options().memory_budget_bytes > 0) {
     pending_pairs =
-        std::make_unique<std::atomic<uint32_t>[]>(catalog.num_slots());
+        std::make_unique<std::atomic<uint32_t>[]>(release_catalog->num_slots());
     for (const ColumnPairCandidate& candidate : pruned.shortlist) {
       pending_pairs[candidate.a.table].fetch_add(
           1, std::memory_order_relaxed);
@@ -100,7 +112,7 @@ void EvaluateShortlistOnPool(const TableCatalog& catalog,
   }
   const auto finish_table = [&](uint32_t t) {
     if (pending_pairs[t].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      catalog.table(t).ReleasePages();
+      release_catalog->table(t).ReleasePages();
     }
   };
 
@@ -115,7 +127,7 @@ void EvaluateShortlistOnPool(const TableCatalog& catalog,
                         const ColumnPairCandidate& candidate =
                             pruned.shortlist[i];
                         result->results[i] = EvaluatePair(
-                            catalog, candidate, join_options,
+                            source, candidate, join_options,
                             options.use_orientation_hints);
                         if (pending_pairs != nullptr) {
                           finish_table(candidate.a.table);
@@ -131,7 +143,7 @@ void EvaluateShortlistOnPool(const TableCatalog& catalog,
 
 }  // namespace
 
-std::string CorpusDiscoveryResult::Describe(const TableCatalog& catalog,
+std::string CorpusDiscoveryResult::Describe(const CorpusColumnSource& catalog,
                                             size_t max_items) const {
   std::string out = StrPrintf(
       "column pairs: %zu total, %zu pruned (%.1f%%), %zu evaluated\n",
@@ -169,6 +181,12 @@ std::string CorpusDiscoveryResult::Describe(const TableCatalog& catalog,
   return out;
 }
 
+Status ValidateOptions(const CorpusDiscoveryOptions& options) {
+  TJ_RETURN_IF_ERROR(ValidateOptions(options.pruner));
+  TJ_RETURN_IF_ERROR(ValidateOptions(options.join));
+  return Status::OK();
+}
+
 CorpusDiscoveryResult DiscoverJoinableColumns(
     TableCatalog* catalog, const CorpusDiscoveryOptions& options) {
   CorpusDiscoveryResult result;
@@ -180,7 +198,8 @@ CorpusDiscoveryResult DiscoverJoinableColumns(
   catalog->ComputeSignatures(&pool);
   const PairPrunerResult pruned =
       ShortlistPairs(*catalog, options.pruner, &pool);
-  EvaluateShortlistOnPool(*catalog, pruned, options, &pool, &result);
+  EvaluateShortlistOnPool(*catalog, catalog, pruned, options, &pool,
+                          &result);
   return result;
 }
 
@@ -190,9 +209,31 @@ CorpusDiscoveryResult EvaluateShortlist(const TableCatalog& catalog,
                                         ThreadPool* pool) {
   CorpusDiscoveryResult result;
   PoolRef pool_ref(pool, options.num_threads);
-  EvaluateShortlistOnPool(catalog, shortlist, options, &pool_ref.get(),
-                          &result);
+  EvaluateShortlistOnPool(catalog, &catalog, shortlist, options,
+                          &pool_ref.get(), &result);
   return result;
+}
+
+CorpusDiscoveryResult EvaluateShortlist(const CorpusColumnSource& source,
+                                        const PairPrunerResult& shortlist,
+                                        const CorpusDiscoveryOptions& options,
+                                        ThreadPool* pool) {
+  CorpusDiscoveryResult result;
+  PoolRef pool_ref(pool, options.num_threads);
+  EvaluateShortlistOnPool(source, /*release_catalog=*/nullptr, shortlist,
+                          options, &pool_ref.get(), &result);
+  return result;
+}
+
+CorpusPairResult EvaluateCandidate(const CorpusColumnSource& source,
+                                   const ColumnPairCandidate& candidate,
+                                   const CorpusDiscoveryOptions& options,
+                                   ThreadPool* pool,
+                                   bool use_orientation_hint) {
+  PoolRef pool_ref(pool, options.num_threads);
+  return EvaluatePair(source, candidate,
+                      PairJoinOptions(options, &pool_ref.get()),
+                      use_orientation_hint);
 }
 
 }  // namespace tj

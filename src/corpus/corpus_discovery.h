@@ -97,10 +97,18 @@ struct CorpusDiscoveryResult {
            static_cast<double>(total_column_pairs);
   }
 
-  /// Human-readable ranked summary (one line per evaluated pair).
-  std::string Describe(const TableCatalog& catalog,
+  /// Human-readable ranked summary (one line per evaluated pair). Accepts
+  /// any column source (live catalog or an immutable serving snapshot) —
+  /// only names are read, never cell bytes.
+  std::string Describe(const CorpusColumnSource& source,
                        size_t max_items = 20) const;
 };
+
+/// Validates a CorpusDiscoveryOptions tree (pruner gates, per-pair engine
+/// knobs) without aborting, so a daemon can reject a malformed client
+/// request with a Status instead of dying on a downstream TJ_CHECK. OK for
+/// every default-constructed options struct.
+Status ValidateOptions(const CorpusDiscoveryOptions& options);
 
 /// Runs corpus-scale discovery over every table registered in `catalog`.
 /// Computes any missing column signatures first (cached in the catalog, so
@@ -120,6 +128,29 @@ CorpusDiscoveryResult EvaluateShortlist(const TableCatalog& catalog,
                                         const PairPrunerResult& shortlist,
                                         const CorpusDiscoveryOptions& options,
                                         ThreadPool* pool = nullptr);
+
+/// Source-generic variant of EvaluateShortlist: evaluates the shortlist
+/// against any CorpusColumnSource — in particular a serve::CorpusSnapshot,
+/// so a served query runs exactly the per-pair engine a batch run does and
+/// produces bit-identical per-pair results. The budget-driven page-release
+/// refcounting of the catalog overload does not apply here (releasing is a
+/// live-catalog concern; snapshots release with their last reference).
+CorpusDiscoveryResult EvaluateShortlist(const CorpusColumnSource& source,
+                                        const PairPrunerResult& shortlist,
+                                        const CorpusDiscoveryOptions& options,
+                                        ThreadPool* pool);
+
+/// Runs the per-pair engine on a single candidate — the serving layer's
+/// transform-join path for a pair the pruner never shortlisted. Identical
+/// to the result a shortlist evaluation of the same candidate produces.
+/// When `use_orientation_hint` is false the candidate's a_is_source hint is
+/// ignored and the columns are rescanned (for hand-built candidates that
+/// carry no sketch hint).
+CorpusPairResult EvaluateCandidate(const CorpusColumnSource& source,
+                                   const ColumnPairCandidate& candidate,
+                                   const CorpusDiscoveryOptions& options,
+                                   ThreadPool* pool,
+                                   bool use_orientation_hint);
 
 }  // namespace tj
 

@@ -234,4 +234,13 @@ PairPrunerResult IncrementalPairPruner::Snapshot() const {
   return FinalizeShortlist(std::move(survivors), total_pairs_, options_);
 }
 
+Status ValidateOptions(const PairPrunerOptions& options) {
+  if (!(options.min_containment >= 0.0) ||
+      !(options.min_containment <= 1.0)) {
+    return Status::InvalidArgument(
+        "PairPrunerOptions::min_containment must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
 }  // namespace tj

@@ -97,6 +97,11 @@ PairPrunerResult ShortlistPairs(const TableCatalog& catalog,
                                 const PairPrunerOptions& options,
                                 ThreadPool* pool = nullptr);
 
+/// Validates a PairPrunerOptions (containment floor in range, gates sane)
+/// with an InvalidArgument instead of downstream misbehavior. Defaults
+/// always validate.
+Status ValidateOptions(const PairPrunerOptions& options);
+
 /// Live shortlist over a mutating catalog. Survivor candidates are held in
 /// mergeable per-table-pair groups, so table-level add/remove/update only
 /// touches the groups involving that table; Snapshot() re-ranks the merged

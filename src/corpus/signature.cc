@@ -106,4 +106,15 @@ double EstimateNgramContainment(const ColumnSignature& a,
   return std::min(1.0, intersection / smaller);
 }
 
+Status ValidateOptions(const SignatureOptions& options) {
+  if (options.ngram == 0) {
+    return Status::InvalidArgument("SignatureOptions::ngram must be >= 1");
+  }
+  if (options.num_hashes == 0) {
+    return Status::InvalidArgument(
+        "SignatureOptions::num_hashes must be >= 1");
+  }
+  return Status::OK();
+}
+
 }  // namespace tj

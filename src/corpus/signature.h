@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "table/column.h"
 
 namespace tj {
@@ -97,6 +98,11 @@ double EstimateJaccard(const ColumnSignature& a, const ColumnSignature& b);
 /// vocabulary sizes differ widely.
 double EstimateNgramContainment(const ColumnSignature& a,
                                 const ColumnSignature& b);
+
+/// Validates a SignatureOptions — InvalidArgument instead of downstream
+/// misbehavior (a 0-gram sketch hashes nothing; 0 slots estimate nothing).
+/// Defaults always validate.
+Status ValidateOptions(const SignatureOptions& options);
 
 }  // namespace tj
 

@@ -131,4 +131,15 @@ std::vector<RowPair> ApplyAndEquiJoin(
   return joined.pairs();
 }
 
+Status ValidateOptions(const JoinOptions& options) {
+  TJ_RETURN_IF_ERROR(ValidateOptions(options.match_options));
+  TJ_RETURN_IF_ERROR(ValidateOptions(options.discovery));
+  if (!(options.min_join_support >= 0.0) ||
+      !(options.min_join_support <= 1.0)) {
+    return Status::InvalidArgument(
+        "JoinOptions::min_join_support must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
 }  // namespace tj

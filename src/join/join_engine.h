@@ -84,6 +84,11 @@ std::vector<RowPair> ApplyAndEquiJoin(const Column& source,
                                       const UnitInterner& units,
                                       const std::vector<TransformationId>& ids);
 
+/// Validates a JoinOptions tree: its own thresholds plus the nested
+/// RowMatchOptions and DiscoveryOptions. InvalidArgument names the
+/// offending field; defaults always validate.
+Status ValidateOptions(const JoinOptions& options);
+
 }  // namespace tj
 
 #endif  // TJ_JOIN_JOIN_ENGINE_H_

@@ -204,4 +204,20 @@ bool PickSourceColumn(const Column& a, const Column& b) {
   return a.AverageLength() >= b.AverageLength();
 }
 
+Status ValidateOptions(const RowMatchOptions& options) {
+  if (options.n0 == 0) {
+    return Status::InvalidArgument("RowMatchOptions::n0 must be >= 1");
+  }
+  if (options.nmax < options.n0) {
+    return Status::InvalidArgument(
+        "RowMatchOptions::nmax must be >= n0");
+  }
+  if (options.nmax > 256) {
+    // Grams longer than any realistic cell: an nmax this large is a typo
+    // and would make the per-row representative scan quadratic in it.
+    return Status::InvalidArgument("RowMatchOptions::nmax must be <= 256");
+  }
+  return Status::OK();
+}
+
 }  // namespace tj

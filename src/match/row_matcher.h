@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "index/inverted_index.h"
 #include "table/column.h"
 #include "table/table_pair.h"
@@ -69,6 +70,12 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
 /// The paper designates the column with the longer average value as the
 /// source. Returns true when `a` should be the source of (a, b).
 bool PickSourceColumn(const Column& a, const Column& b);
+
+/// Validates a RowMatchOptions (n-gram window sane, etc.) — InvalidArgument
+/// instead of a downstream TJ_CHECK abort, so daemon-supplied
+/// configurations fail as responses, not process deaths. Defaults always
+/// validate.
+Status ValidateOptions(const RowMatchOptions& options);
 
 }  // namespace tj
 

@@ -1,0 +1,46 @@
+// ServeClient: minimal synchronous client for the tjd wire protocol —
+// connect to the daemon's unix socket, send one JSON request per Call, get
+// the JSON response back. Shared by the tool's --client mode, the serve
+// test suite, and the served-query benchmark; not a general-purpose RPC
+// stub (one outstanding request per connection, blocking I/O).
+
+#ifndef TJ_SERVE_CLIENT_H_
+#define TJ_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace tj::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// Connects to a listening tjd socket. IOError when nothing listens
+  /// there (a daemon that crashed leaves a connectable-to-nothing file —
+  /// connect reports ECONNREFUSED).
+  Status Connect(const std::string& socket_path);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for its response. The raw-string
+  /// overload is the tool's passthrough mode (payload sent as-is).
+  Result<JsonValue> Call(const JsonValue& request);
+  Result<std::string> CallRaw(std::string_view payload);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace tj::serve
+
+#endif  // TJ_SERVE_CLIENT_H_

@@ -1,0 +1,114 @@
+#include "serve/watcher.h"
+
+#include <poll.h>
+#include <sys/inotify.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace tj::serve {
+namespace {
+
+/// Completed-write and arrival/departure events only: IN_CLOSE_WRITE fires
+/// when a writer closes a file it had open for writing (a plain `cp` or
+/// editor save), IN_MOVED_TO when a file is renamed in (the atomic-publish
+/// pattern: write to a temp name, rename into the watched directory).
+/// Plain IN_MODIFY is deliberately absent — reacting mid-write would parse
+/// half a CSV.
+constexpr uint32_t kWatchMask = IN_CLOSE_WRITE | IN_MOVED_TO | IN_DELETE |
+                                IN_MOVED_FROM;
+
+}  // namespace
+
+DirWatcher::~DirWatcher() { Close(); }
+
+Status DirWatcher::Open(const std::string& dir) {
+  if (fd_ >= 0) return Status::Internal("DirWatcher already open");
+  fd_ = inotify_init1(IN_NONBLOCK | IN_CLOEXEC);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("inotify_init1: ") +
+                           std::strerror(errno));
+  }
+  wd_ = inotify_add_watch(fd_, dir.c_str(), kWatchMask);
+  if (wd_ < 0) {
+    const int err = errno;
+    Close();
+    return Status::IOError("inotify_add_watch '" + dir +
+                           "': " + std::strerror(err));
+  }
+  dir_ = dir;
+  return Status::OK();
+}
+
+Result<std::vector<DirWatcher::Event>> DirWatcher::Poll(int timeout_ms) {
+  if (fd_ < 0) return Status::Internal("DirWatcher not open");
+
+  struct pollfd pfd = {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int ready = 0;
+  do {
+    ready = ::poll(&pfd, 1, timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) {
+    return Status::IOError(std::string("poll: ") + std::strerror(errno));
+  }
+  if (ready == 0) return std::vector<Event>();
+
+  // Drain the queue; collapse to the latest kind per name, preserving
+  // first-seen order so downstream processing is deterministic.
+  std::vector<Event> events;
+  char buf[4096] __attribute__((aligned(alignof(struct inotify_event))));
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("inotify read: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) break;
+    for (ssize_t off = 0; off < n;) {
+      const auto* ev = reinterpret_cast<const struct inotify_event*>(buf + off);
+      off += static_cast<ssize_t>(sizeof(struct inotify_event)) + ev->len;
+      if (ev->mask & IN_IGNORED) {
+        // The kernel dropped the watch (directory deleted/unmounted).
+        return Status::IOError("watch on '" + dir_ + "' was removed");
+      }
+      if (ev->mask & IN_Q_OVERFLOW) {
+        // Events were lost; the caller cannot know which files changed.
+        return Status::IOError("inotify event queue overflowed for '" + dir_ +
+                               "'");
+      }
+      if (ev->len == 0) continue;  // event on the directory itself
+      const std::string name(ev->name);
+      const Event::Kind kind = (ev->mask & (IN_DELETE | IN_MOVED_FROM))
+                                   ? Event::Kind::kRemoved
+                                   : Event::Kind::kModified;
+      bool merged = false;
+      for (Event& existing : events) {
+        if (existing.name == name) {
+          existing.kind = kind;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) events.push_back(Event{name, kind});
+    }
+  }
+  return events;
+}
+
+void DirWatcher::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // closing the inotify fd drops its watches
+    fd_ = -1;
+    wd_ = -1;
+  }
+  dir_.clear();
+}
+
+}  // namespace tj::serve

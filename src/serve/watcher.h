@@ -1,0 +1,59 @@
+// DirWatcher: inotify-based change feed over one flat directory — the
+// sensor behind tjd's --watch mode. Reports file-level events only
+// (name + coarse kind); interpreting them (CSV parse, stem→table mapping,
+// debounce) is the server's job. Watches the directory itself, so files
+// created after Open are picked up without re-arming.
+
+#ifndef TJ_SERVE_WATCHER_H_
+#define TJ_SERVE_WATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tj::serve {
+
+class DirWatcher {
+ public:
+  /// A file changed in the watched directory. kModified covers both
+  /// creation and content change (IN_CLOSE_WRITE / IN_MOVED_TO — i.e. the
+  /// writer is done, not mid-write); kRemoved covers deletion and
+  /// moves out of the directory.
+  struct Event {
+    enum class Kind { kModified, kRemoved };
+    std::string name;  // basename within the watched directory
+    Kind kind = Kind::kModified;
+  };
+
+  DirWatcher() = default;
+  ~DirWatcher();
+
+  DirWatcher(const DirWatcher&) = delete;
+  DirWatcher& operator=(const DirWatcher&) = delete;
+
+  /// Starts watching `dir`. IOError when the directory cannot be watched
+  /// (missing, inotify exhaustion). Call once per instance.
+  Status Open(const std::string& dir);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& dir() const { return dir_; }
+
+  /// Waits up to `timeout_ms` for events and drains everything pending.
+  /// Returns an empty vector on timeout. Multiple raw events for the same
+  /// file are collapsed to the latest kind (a create-then-delete burst
+  /// reports kRemoved once). Returns IOError when the watch died (e.g. the
+  /// directory itself was deleted — IN_IGNORED from the kernel).
+  Result<std::vector<Event>> Poll(int timeout_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int wd_ = -1;
+  std::string dir_;
+};
+
+}  // namespace tj::serve
+
+#endif  // TJ_SERVE_WATCHER_H_

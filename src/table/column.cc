@@ -453,4 +453,13 @@ size_t Column::SpilledBytes() const {
   return total;
 }
 
+Status ValidateOptions(const StorageOptions& options) {
+  if (options.memory_budget_bytes > 0 && !options.spill_enabled()) {
+    return Status::InvalidArgument(
+        "StorageOptions::memory_budget_bytes requires a spill_dir (a "
+        "budget without spill storage cannot evict anything)");
+  }
+  return Status::OK();
+}
+
 }  // namespace tj

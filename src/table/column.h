@@ -82,6 +82,14 @@ struct StorageOptions {
   bool spill_enabled() const { return !spill_dir.empty(); }
 };
 
+/// Validates a StorageOptions combination — InvalidArgument for settings
+/// that would silently do nothing (a memory budget without a spill
+/// directory) so a serving daemon can reject them as a response instead of
+/// running unbudgeted. Does not touch the filesystem; spill-directory
+/// creation stays lazy (and fallible) at first use. Defaults always
+/// validate.
+Status ValidateOptions(const StorageOptions& options);
+
 /// The byte store behind a Column's arena: one contiguous, grow-only
 /// buffer. Implementations: the heap arena (column.cc, default) and the
 /// mmap-backed spill arena (table/spill_arena.h).

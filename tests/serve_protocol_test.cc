@@ -1,0 +1,186 @@
+// Wire-protocol tests: JSON parse/serialize round trips (including the
+// deterministic-serialization guarantees the byte-identity contract rests
+// on), malformed-input rejection, and length-prefixed frame I/O over a
+// socketpair (round trip, oversized frame, clean close, mid-frame cut).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.h"
+
+namespace tj::serve {
+namespace {
+
+Result<JsonValue> Parse(const std::string& text) {
+  return JsonValue::Parse(text);
+}
+
+TEST(JsonValueTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_EQ(Parse("42")->AsNumber(), 42.0);
+  EXPECT_EQ(Parse("-3.5")->AsNumber(), -3.5);
+  EXPECT_EQ(Parse("1e3")->AsNumber(), 1000.0);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+  EXPECT_EQ(Parse("  \"pad\"  ")->AsString(), "pad");
+}
+
+TEST(JsonValueTest, ParsesEscapes) {
+  EXPECT_EQ(Parse("\"a\\nb\"")->AsString(), "a\nb");
+  EXPECT_EQ(Parse("\"q\\\"q\"")->AsString(), "q\"q");
+  EXPECT_EQ(Parse("\"\\u0041\"")->AsString(), "A");
+  // Surrogate pair: U+1F600 as UTF-8.
+  EXPECT_EQ(Parse("\"\\uD83D\\uDE00\"")->AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonValueTest, ParsesContainers) {
+  const auto arr = Parse("[1, \"two\", [true]]");
+  ASSERT_TRUE(arr.ok());
+  ASSERT_EQ(arr->items().size(), 3u);
+  EXPECT_EQ(arr->items()[0].AsNumber(), 1.0);
+  EXPECT_EQ(arr->items()[1].AsString(), "two");
+  EXPECT_TRUE(arr->items()[2].items()[0].AsBool());
+
+  const auto obj = Parse("{\"a\": 1, \"b\": {\"c\": []}}");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_NE(obj->Find("a"), nullptr);
+  EXPECT_EQ(obj->Find("a")->AsNumber(), 1.0);
+  ASSERT_NE(obj->Find("b"), nullptr);
+  ASSERT_NE(obj->Find("b")->Find("c"), nullptr);
+  EXPECT_TRUE(obj->Find("b")->Find("c")->is_array());
+  EXPECT_EQ(obj->Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "\"unterminated", "{\"a\" 1}", "nulll", "tru",
+        "1 2", "{\"a\":1} trailing", "[1,]", "{,}", "\"\\q\"",
+        "\"\\u12\"", "1e", "--1"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << "input: " << bad;
+  }
+}
+
+TEST(JsonValueTest, RejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonValueTest, SerializationIsDeterministicAndCompact) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", JsonValue::Number(2));
+  obj.Set("a", JsonValue::Number(1.5));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Str("x"));
+  arr.Append(JsonValue::Null());
+  arr.Append(JsonValue::Bool(true));
+  obj.Set("list", std::move(arr));
+  // Insertion order, no whitespace, integral numbers without a decimal
+  // point — the properties byte-compared responses depend on.
+  EXPECT_EQ(obj.Serialize(), "{\"b\":2,\"a\":1.5,\"list\":[\"x\",null,true]}");
+}
+
+TEST(JsonValueTest, SerializeRoundTripsThroughParse) {
+  const std::string text =
+      "{\"s\":\"a\\nb\",\"n\":-12345.675,\"big\":9007199254740992,"
+      "\"arr\":[1,2,3],\"o\":{\"k\":null}}";
+  const auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  const std::string once = parsed->Serialize();
+  const auto reparsed = Parse(once);
+  ASSERT_TRUE(reparsed.ok());
+  // Serialization is a fixed point after one round trip.
+  EXPECT_EQ(reparsed->Serialize(), once);
+}
+
+TEST(JsonValueTest, EscapesControlCharacters) {
+  // Octal escape: "\001" — a greedy hex "\x01b" would swallow the 'b'.
+  JsonValue v = JsonValue::Str(std::string("a\001b\tc\"d\\e"));
+  const std::string out = v.Serialize();
+  EXPECT_EQ(out, "\"a\\u0001b\\tc\\\"d\\\\e\"");
+  EXPECT_EQ(Parse(out)->AsString(), "a\001b\tc\"d\\e");
+}
+
+class FramePairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) close(fds_[0]);
+    if (fds_[1] >= 0) close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePairTest, RoundTripsFrames) {
+  ASSERT_TRUE(WriteFrame(fds_[0], "hello").ok());
+  ASSERT_TRUE(WriteFrame(fds_[0], "").ok());
+  std::string big(100000, 'x');
+  ASSERT_TRUE(WriteFrame(fds_[0], big).ok());
+
+  auto a = ReadFrame(fds_[1]);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(*a, "hello");
+  auto b = ReadFrame(fds_[1]);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, "");
+  auto c = ReadFrame(fds_[1]);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, big);
+}
+
+TEST_F(FramePairTest, CleanCloseIsNotFound) {
+  close(fds_[0]);
+  fds_[0] = -1;
+  const auto frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FramePairTest, MidFrameCutIsIOError) {
+  // Length prefix announcing 100 bytes, then only 3 arrive before close.
+  const char prefix[4] = {100, 0, 0, 0};
+  ASSERT_EQ(write(fds_[0], prefix, 4), 4);
+  ASSERT_EQ(write(fds_[0], "abc", 3), 3);
+  close(fds_[0]);
+  fds_[0] = -1;
+  const auto frame = ReadFrame(fds_[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FramePairTest, OversizedFrameIsInvalidArgument) {
+  ASSERT_TRUE(WriteFrame(fds_[0], "0123456789").ok());
+  const auto frame = ReadFrame(fds_[1], /*max_bytes=*/4);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FramePairTest, StopFlagUnblocksReader) {
+  // SO_RCVTIMEO makes the blocked read poll the stop flag.
+  struct timeval tv = {0, 20000};  // 20ms
+  ASSERT_EQ(setsockopt(fds_[1], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)),
+            0);
+  std::atomic<bool> stop{false};
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop.store(true);
+  });
+  const auto frame = ReadFrame(fds_[1], kMaxFrameBytes, &stop);
+  stopper.join();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tj::serve

@@ -1,0 +1,463 @@
+// CorpusServer end-to-end tests over a real unix socket:
+//  * served queries are byte-identical to responses rebuilt offline from a
+//    replica catalog (the serving layer's consistency contract),
+//  * concurrent readers racing a mutation observe only whole epochs — every
+//    response matches the expected bytes FOR ITS EPOCH, at several client
+//    thread counts,
+//  * mutations coalesce, answer with their epoch, and survive bad input,
+//  * graceful shutdown never hangs a waiter or drops an accepted mutation,
+//  * the live-watch loop mirrors directory changes into served state.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "corpus/catalog.h"
+#include "corpus/corpus_discovery.h"
+#include "corpus/pair_pruner.h"
+#include "datagen/corpus.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "table/csv.h"
+
+namespace tj::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+SynthCorpus ServerCorpus(uint64_t seed = 21) {
+  SynthCorpusOptions options;
+  options.num_joinable_pairs = 2;
+  options.num_noise_tables = 1;
+  options.rows = 25;
+  options.seed = seed;
+  return GenerateSynthCorpus(options);
+}
+
+/// A server harness: temp dir, short socket path, catalog from a synthetic
+/// corpus, one shared pool.
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("tj_serve_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+    ASSERT_TRUE(fs::create_directories(dir_));
+    socket_path_ = dir_ + "/tjd.sock";
+    ASSERT_LT(socket_path_.size(), 100u)
+        << "socket path too long for sockaddr_un: " << socket_path_;
+  }
+
+  void TearDown() override {
+    server_.reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  void LoadCorpus(const SynthCorpus& corpus) {
+    for (const Table& table : corpus.tables) {
+      ASSERT_TRUE(catalog_.AddTable(table).ok());
+    }
+  }
+
+  void StartServer(ServeOptions options = {}) {
+    options.socket_path = socket_path_;
+    pool_ = std::make_unique<ThreadPool>(2);
+    server_ = std::make_unique<CorpusServer>(&catalog_, pool_.get(),
+                                             std::move(options));
+    const Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  Result<std::string> Request(const std::string& json) {
+    ServeClient client;
+    TJ_RETURN_IF_ERROR(client.Connect(socket_path_));
+    return client.CallRaw(json);
+  }
+
+  /// Writes one corpus table as CSV into the harness dir.
+  std::string WriteTableCsv(const Table& table, const std::string& stem) {
+    const std::string path = dir_ + "/" + stem + ".csv";
+    EXPECT_TRUE(WriteCsvFile(table, path).ok());
+    return path;
+  }
+
+  std::string dir_;
+  std::string socket_path_;
+  TableCatalog catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<CorpusServer> server_;
+};
+
+/// Rebuilds the exact response bytes the server must produce for
+/// {"op":"joinable","column":spec} at an epoch whose live tables are
+/// `tables` (in registration order) — from a completely fresh replica
+/// catalog, pruner, and snapshot, stamped with the observed epoch.
+std::string ExpectedJoinableResponse(const std::vector<Table>& tables,
+                                     const std::string& spec,
+                                     uint64_t epoch) {
+  TableCatalog replica;
+  for (const Table& table : tables) {
+    EXPECT_TRUE(replica.AddTable(table).ok());
+  }
+  replica.ComputeSignatures();
+  IncrementalPairPruner pruner;
+  pruner.Rebuild(replica);
+  const auto snapshot = CorpusSnapshot::Build(replica, pruner);
+  auto ref = snapshot->ResolveColumn(spec);
+  EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+  CorpusDiscoveryOptions options;
+  JsonValue results = JsonValue::Array();
+  for (const ColumnPairCandidate& candidate :
+       snapshot->shortlist().shortlist) {
+    if (!(candidate.a == *ref) && !(candidate.b == *ref)) continue;
+    const CorpusPairResult pair =
+        EvaluateCandidate(*snapshot, candidate, options, /*pool=*/nullptr,
+                          options.use_orientation_hints);
+    results.Append(PairResultToJson(*snapshot, pair));
+  }
+  JsonValue response = JsonValue::Object();
+  response.Set("ok", JsonValue::Bool(true));
+  response.Set("epoch", JsonValue::Number(static_cast<double>(epoch)));
+  response.Set("column", JsonValue::Str(spec));
+  response.Set("results", std::move(results));
+  return response.Serialize();
+}
+
+TEST_F(ServerTest, ServedQueryMatchesBatchBytes) {
+  const SynthCorpus corpus = ServerCorpus();
+  LoadCorpus(corpus);
+  StartServer();
+
+  // Table order is shuffled by the generator: golden[] maps to positions.
+  const std::string spec =
+      corpus.tables[corpus.golden[0].source_table].name() + ".value";
+  const auto response =
+      Request("{\"op\":\"joinable\",\"column\":\"" + spec + "\"}");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  const uint64_t epoch = server_->current_snapshot()->epoch();
+  const std::string expected =
+      ExpectedJoinableResponse(corpus.tables, spec, epoch);
+  EXPECT_EQ(*response, expected);
+
+  // The joinable set is non-trivial for a synthetic joinable pair.
+  const auto parsed = JsonValue::Parse(*response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->Find("results")->items().empty());
+}
+
+TEST_F(ServerTest, TransformJoinHonorsRequestedOrientation) {
+  const SynthCorpus corpus = ServerCorpus();
+  LoadCorpus(corpus);
+  StartServer();
+
+  const std::string source =
+      corpus.tables[corpus.golden[0].source_table].name() + ".value";
+  const std::string target =
+      corpus.tables[corpus.golden[0].target_table].name() + ".value";
+  const auto response =
+      Request("{\"op\":\"transform-join\",\"source\":\"" + source +
+              "\",\"target\":\"" + target + "\"}");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const auto parsed = JsonValue::Parse(*response);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->Find("ok")->AsBool()) << *response;
+  const JsonValue* result = parsed->Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->Find("source")->AsString(), source);
+  EXPECT_EQ(result->Find("target")->AsString(), target);
+  EXPECT_GT(result->Find("joined_rows")->AsNumber(), 0.0);
+}
+
+TEST_F(ServerTest, ConcurrentReadersSeeOnlyWholeEpochs) {
+  const SynthCorpus corpus = ServerCorpus(33);
+  LoadCorpus(corpus);
+  StartServer();
+  const uint64_t epoch_before = server_->current_snapshot()->epoch();
+
+  // The table added mid-flight: another joinable partner for table 0's
+  // column, so the query's answer genuinely changes across the epoch.
+  SynthCorpusOptions extra_options;
+  extra_options.num_joinable_pairs = 1;
+  extra_options.num_noise_tables = 0;
+  extra_options.rows = 25;
+  extra_options.seed = 33;  // same seed => joinable against the same pair
+  extra_options.name_prefix = "late";
+  const SynthCorpus extra = GenerateSynthCorpus(extra_options);
+  const Table& extra_table = extra.tables[extra.golden[0].source_table];
+  const std::string extra_csv = WriteTableCsv(extra_table, "late-src");
+
+  const std::string spec =
+      corpus.tables[corpus.golden[0].source_table].name() + ".value";
+  const std::string query =
+      "{\"op\":\"joinable\",\"column\":\"" + spec + "\"}";
+
+  for (const int num_clients : {1, 2, 4}) {
+    // Responses indexed by the epoch they claim.
+    std::mutex mu;
+    std::map<uint64_t, std::set<std::string>> by_epoch;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(num_clients));
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&] {
+        ServeClient client;
+        if (!client.Connect(socket_path_).ok()) return;
+        while (!stop.load()) {
+          auto response = client.CallRaw(query);
+          if (!response.ok()) return;
+          const auto parsed = JsonValue::Parse(*response);
+          ASSERT_TRUE(parsed.ok());
+          const auto epoch =
+              static_cast<uint64_t>(parsed->Find("epoch")->AsNumber());
+          std::lock_guard<std::mutex> lock(mu);
+          by_epoch[epoch].insert(*response);
+        }
+      });
+    }
+
+    // Let queries flow, then mutate mid-stream (add on the first round,
+    // remove on the next — returning to the previous live set each time).
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const auto mutated =
+        Request("{\"op\":\"add\",\"path\":\"" + extra_csv + "\"}");
+    ASSERT_TRUE(mutated.ok()) << mutated.status().ToString();
+    ASSERT_NE(mutated->find("\"ok\":true"), std::string::npos) << *mutated;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const auto removed =
+        Request("{\"op\":\"remove\",\"name\":\"late-src\"}");
+    ASSERT_TRUE(removed.ok());
+    ASSERT_NE(removed->find("\"ok\":true"), std::string::npos) << *removed;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    stop.store(true);
+    for (std::thread& t : clients) t.join();
+
+    // Every observed epoch must have exactly ONE response byte pattern,
+    // equal to the offline replica's bytes for that epoch's table set.
+    ASSERT_FALSE(by_epoch.empty());
+    std::vector<Table> with_extra = corpus.tables;
+    with_extra.push_back(extra_table);
+    with_extra.back().set_name("late-src");
+    for (const auto& [epoch, responses] : by_epoch) {
+      ASSERT_EQ(responses.size(), 1u)
+          << "epoch " << epoch << " served mixed bytes ("
+          << num_clients << " clients)";
+      // Which table set was live at this epoch: the added table is live
+      // exactly in the window between the two mutations.
+      const bool has_extra = (epoch - epoch_before) % 2 == 1;
+      const std::string expected = ExpectedJoinableResponse(
+          has_extra ? with_extra : corpus.tables, spec, epoch);
+      EXPECT_EQ(*responses.begin(), expected)
+          << "epoch " << epoch << " (" << num_clients << " clients)";
+    }
+  }
+}
+
+TEST_F(ServerTest, MutationsAdvanceEpochAndAnswerErrors) {
+  const SynthCorpus corpus = ServerCorpus();
+  LoadCorpus(corpus);
+  StartServer();
+  const uint64_t epoch0 = server_->current_snapshot()->epoch();
+
+  // Unknown table: error response, daemon stays up.
+  auto bad_remove = Request("{\"op\":\"remove\",\"name\":\"ghost\"}");
+  ASSERT_TRUE(bad_remove.ok());
+  EXPECT_NE(bad_remove->find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(bad_remove->find("NotFound"), std::string::npos);
+
+  // Unreadable path: error response.
+  auto bad_add =
+      Request("{\"op\":\"add\",\"path\":\"" + dir_ + "/missing.csv\"}");
+  ASSERT_TRUE(bad_add.ok());
+  EXPECT_NE(bad_add->find("\"ok\":false"), std::string::npos);
+
+  // Valid add: ok + a higher epoch; the table then resolves in queries.
+  const std::string csv = WriteTableCsv(corpus.tables[0], "copy0");
+  auto add = Request("{\"op\":\"add\",\"path\":\"" + csv + "\"}");
+  ASSERT_TRUE(add.ok());
+  const auto parsed = JsonValue::Parse(*add);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->Find("ok")->AsBool()) << *add;
+  EXPECT_GT(parsed->Find("epoch")->AsNumber(),
+            static_cast<double>(epoch0));
+  EXPECT_EQ(parsed->Find("table")->AsString(), "copy0");
+
+  // Duplicate add: AlreadyExists, epoch still advances only via snapshot
+  // (the failed op must not corrupt serving).
+  auto dup = Request("{\"op\":\"add\",\"path\":\"" + csv + "\"}");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_NE(dup->find("AlreadyExists"), std::string::npos) << *dup;
+
+  // Update round-trips too.
+  auto update = Request("{\"op\":\"update\",\"path\":\"" + csv + "\"}");
+  ASSERT_TRUE(update.ok());
+  EXPECT_NE(update->find("\"ok\":true"), std::string::npos) << *update;
+
+  auto stats = Request("{\"op\":\"stats\"}");
+  ASSERT_TRUE(stats.ok());
+  const auto stats_json = JsonValue::Parse(*stats);
+  ASSERT_TRUE(stats_json.ok());
+  EXPECT_EQ(stats_json->Find("tables")->AsNumber(),
+            static_cast<double>(corpus.tables.size() + 1));
+  EXPECT_GE(stats_json->Find("mutations_applied")->AsNumber(), 2.0);
+}
+
+TEST_F(ServerTest, MalformedRequestsGetErrorResponsesAndDaemonSurvives) {
+  LoadCorpus(ServerCorpus());
+  StartServer();
+
+  for (const std::string bad :
+       {std::string("this is not json"), std::string("[1,2,3]"),
+        std::string("{\"noop\":true}"), std::string("{\"op\":\"wat\"}"),
+        std::string("{\"op\":\"joinable\"}"),
+        std::string("{\"op\":\"joinable\",\"column\":7}"),
+        std::string(
+            "{\"op\":\"joinable\",\"column\":\"a.b\",\"support\":2.0}"),
+        std::string("{\"op\":\"transform-join\",\"source\":\"a.b\"}")}) {
+    const auto response = Request(bad);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_NE(response->find("\"ok\":false"), std::string::npos)
+        << "request: " << bad << " response: " << *response;
+  }
+
+  // Still serving after the abuse.
+  const auto stats = Request("{\"op\":\"stats\"}");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"ok\":true"), std::string::npos);
+}
+
+TEST_F(ServerTest, ShutdownOpReleasesWaitAndDrains) {
+  const SynthCorpus corpus = ServerCorpus();
+  LoadCorpus(corpus);
+  StartServer();
+
+  // A mutation racing shutdown must either apply (ok:true) or be rejected
+  // cleanly (ok:false) — never hang, never be silently dropped.
+  const std::string csv = WriteTableCsv(corpus.tables[0], "draincopy");
+  std::string mutation_response;
+  std::thread mutator([&] {
+    auto response = Request("{\"op\":\"add\",\"path\":\"" + csv + "\"}");
+    if (response.ok()) mutation_response = *response;
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto bye = Request("{\"op\":\"shutdown\"}");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_NE(bye->find("\"ok\":true"), std::string::npos);
+
+  server_->Wait();  // released by the shutdown op
+  server_->Shutdown();
+  mutator.join();
+
+  if (mutation_response.find("\"ok\":true") != std::string::npos) {
+    // Applied: the drained catalog must actually hold the table.
+    EXPECT_TRUE(catalog_.TableIndex("draincopy").ok());
+  } else {
+    EXPECT_FALSE(mutation_response.empty());
+  }
+  // Socket file is gone after shutdown; double Shutdown is a no-op.
+  EXPECT_FALSE(fs::exists(socket_path_));
+  server_->Shutdown();
+}
+
+TEST_F(ServerTest, WatchMirrorsDirectoryIntoServedState) {
+  const SynthCorpus corpus = ServerCorpus();
+  LoadCorpus(corpus);
+  const std::string watch_dir = dir_ + "/watched";
+  ASSERT_TRUE(fs::create_directories(watch_dir));
+  ServeOptions options;
+  options.watch_dir = watch_dir;
+  options.watch_debounce_ms = 50;
+  StartServer(std::move(options));
+  const size_t tables0 = server_->current_snapshot()->num_tables();
+
+  const auto wait_for_tables = [&](size_t expected) -> bool {
+    for (int i = 0; i < 100; ++i) {
+      if (server_->current_snapshot()->num_tables() == expected) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  };
+
+  // Drop a new CSV in: it must appear as a served table.
+  ASSERT_TRUE(WriteCsvFile(corpus.tables[0],
+                           watch_dir + "/fresh.csv")
+                  .ok());
+  ASSERT_TRUE(wait_for_tables(tables0 + 1));
+  EXPECT_TRUE(server_->current_snapshot()->ResolveTable("fresh").ok());
+  const uint64_t epoch_added = server_->current_snapshot()->epoch();
+
+  // Rewrite it: same table count, higher epoch (an update).
+  ASSERT_TRUE(WriteCsvFile(corpus.tables[1],
+                           watch_dir + "/fresh.csv")
+                  .ok());
+  bool updated = false;
+  for (int i = 0; i < 100 && !updated; ++i) {
+    updated = server_->current_snapshot()->epoch() > epoch_added;
+    if (!updated) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(updated);
+  EXPECT_EQ(server_->current_snapshot()->num_tables(), tables0 + 1);
+
+  // Delete it: the table disappears from serving.
+  fs::remove(watch_dir + "/fresh.csv");
+  ASSERT_TRUE(wait_for_tables(tables0));
+  EXPECT_FALSE(server_->current_snapshot()->ResolveTable("fresh").ok());
+
+  // Non-CSV files are ignored.
+  {
+    std::ofstream noise(watch_dir + "/README.md");
+    noise << "not a table\n";
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(server_->current_snapshot()->num_tables(), tables0);
+}
+
+TEST(ServeOptionsTest, ValidateRejectsBadConfigurations) {
+  ServeOptions ok;
+  ok.socket_path = "/tmp/x.sock";
+  EXPECT_TRUE(ValidateOptions(ok).ok());
+
+  ServeOptions no_socket;
+  EXPECT_FALSE(ValidateOptions(no_socket).ok());
+
+  ServeOptions long_path = ok;
+  long_path.socket_path = std::string(200, 'a');
+  EXPECT_FALSE(ValidateOptions(long_path).ok());
+
+  ServeOptions bad_debounce = ok;
+  bad_debounce.watch_debounce_ms = 0;
+  EXPECT_FALSE(ValidateOptions(bad_debounce).ok());
+
+  ServeOptions bad_queue = ok;
+  bad_queue.max_pending_mutations = 0;
+  EXPECT_FALSE(ValidateOptions(bad_queue).ok());
+
+  ServeOptions bad_frame = ok;
+  bad_frame.max_frame_bytes = 0;
+  EXPECT_FALSE(ValidateOptions(bad_frame).ok());
+
+  ServeOptions bad_discovery = ok;
+  bad_discovery.discovery.join.min_join_support = 1.5;
+  EXPECT_FALSE(ValidateOptions(bad_discovery).ok());
+}
+
+}  // namespace
+}  // namespace tj::serve

@@ -1,0 +1,135 @@
+// DirWatcher tests: create/modify/delete/rename events on a temp
+// directory, latest-kind-wins collapsing, timeout behavior, and the
+// watch-death signal when the directory disappears.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/watcher.h"
+
+namespace tj::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DirWatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("tj_watch_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+    ASSERT_TRUE(fs::create_directories(dir_));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(fs::path(dir_) / name);
+    out << content;
+  }
+
+  /// Polls until at least one event arrives (events may be split across
+  /// several inotify reads).
+  std::vector<DirWatcher::Event> PollSome(DirWatcher* watcher,
+                                          int attempts = 20) {
+    for (int i = 0; i < attempts; ++i) {
+      auto events = watcher->Poll(100);
+      EXPECT_TRUE(events.ok()) << events.status().ToString();
+      if (!events.ok() || !events->empty()) return *std::move(events);
+    }
+    return {};
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DirWatcherTest, OpenFailsOnMissingDirectory) {
+  DirWatcher watcher;
+  EXPECT_FALSE(watcher.Open(dir_ + "/nope").ok());
+  EXPECT_FALSE(watcher.is_open());
+}
+
+TEST_F(DirWatcherTest, TimeoutReturnsEmpty) {
+  DirWatcher watcher;
+  ASSERT_TRUE(watcher.Open(dir_).ok());
+  auto events = watcher.Poll(20);
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(events->empty());
+}
+
+TEST_F(DirWatcherTest, ReportsCompletedWrites) {
+  DirWatcher watcher;
+  ASSERT_TRUE(watcher.Open(dir_).ok());
+  WriteFile("a.csv", "h\n1\n");
+  const auto events = PollSome(&watcher);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "a.csv");
+  EXPECT_EQ(events[0].kind, DirWatcher::Event::Kind::kModified);
+}
+
+TEST_F(DirWatcherTest, ReportsRenameInAsModified) {
+  DirWatcher watcher;
+  ASSERT_TRUE(watcher.Open(dir_).ok());
+  // The atomic-publish pattern: write outside, rename into the directory.
+  const fs::path outside = fs::path(dir_).parent_path() / "tj_tmp_pub.csv";
+  {
+    std::ofstream out(outside);
+    out << "h\n1\n";
+  }
+  fs::rename(outside, fs::path(dir_) / "pub.csv");
+  const auto events = PollSome(&watcher);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "pub.csv");
+  EXPECT_EQ(events[0].kind, DirWatcher::Event::Kind::kModified);
+}
+
+TEST_F(DirWatcherTest, ReportsDeletes) {
+  WriteFile("gone.csv", "h\n1\n");
+  DirWatcher watcher;
+  ASSERT_TRUE(watcher.Open(dir_).ok());
+  fs::remove(fs::path(dir_) / "gone.csv");
+  const auto events = PollSome(&watcher);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "gone.csv");
+  EXPECT_EQ(events[0].kind, DirWatcher::Event::Kind::kRemoved);
+}
+
+TEST_F(DirWatcherTest, CollapsesToLatestKind) {
+  DirWatcher watcher;
+  ASSERT_TRUE(watcher.Open(dir_).ok());
+  WriteFile("x.csv", "h\n1\n");
+  fs::remove(fs::path(dir_) / "x.csv");
+  // Both raw events are pending in one queue drain: one collapsed event
+  // with the latest kind.
+  const auto events = PollSome(&watcher);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "x.csv");
+  EXPECT_EQ(events[0].kind, DirWatcher::Event::Kind::kRemoved);
+}
+
+TEST_F(DirWatcherTest, WatchedDirectoryDeletionIsAnError) {
+  DirWatcher watcher;
+  ASSERT_TRUE(watcher.Open(dir_).ok());
+  fs::remove_all(dir_);
+  // The IN_IGNORED from the kernel must surface as an error, not silence.
+  bool errored = false;
+  for (int i = 0; i < 20 && !errored; ++i) {
+    auto events = watcher.Poll(100);
+    errored = !events.ok();
+  }
+  EXPECT_TRUE(errored);
+}
+
+}  // namespace
+}  // namespace tj::serve
