@@ -22,6 +22,7 @@
 
 #include "benchlib/report.h"
 #include "benchlib/storage_metrics.h"
+#include "common/hash.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -244,6 +245,142 @@ IncrementalOutcome MeasureIncrementalAdd(const tj::SynthCorpus& corpus,
       std::fprintf(stderr, "incremental shortlist diverges at rank %zu\n", i);
       std::exit(1);
     }
+  }
+  return outcome;
+}
+
+/// The million-table-scale scenario (10k tables at TJ_BENCH_SCALE=1): a
+/// synthetic corpus of mostly non-overlapping noise tables with planted
+/// joinable pairs, ingested through the LSH-banded incremental pruner.
+/// Measures how many exact pair scores the bucket probes cost versus the
+/// linear-scan count an exhaustive incremental build pays, then verifies
+/// the probed shortlist is bit-identical to a full ShortlistPairs scan and
+/// that lossless banding missed nothing (exit 1 on either failure).
+struct LshScaleOutcome {
+  size_t tables = 0;
+  size_t probe_pairs = 0;       // cumulative exact scores via bucket probes
+  size_t linear_pairs = 0;      // exhaustive incremental total: N*(N-1)/2
+  size_t missed_pairs = 0;      // full-scan survivors outside the buckets
+  size_t add_pairs_scored = 0;  // scores for ONE add at full corpus size
+  size_t add_linear_pairs = 0;  // what that add costs exhaustively
+  double ingest_seconds = 0.0;  // adds + sketches + probed fold-ins
+  double fullscan_seconds = 0.0;
+};
+
+std::string ScaleCellText(size_t table, size_t row) {
+  // Pseudorandom base-36 cells: noise tables must share (almost) no
+  // 4-grams, or every sketch collides in some band and the probe
+  // degenerates to a full scan. (Sketches lowercase their input, so a
+  // mixed-case alphabet would not widen the gram space.)
+  uint64_t a = tj::Mix64(table * 1315423911u + row);
+  uint64_t b = tj::Mix64(a ^ 0x746a7363616c65ULL);
+  std::string s;
+  s.reserve(24);
+  for (int i = 0; i < 12; ++i) {
+    const auto d = static_cast<char>(a % 36);
+    s.push_back(d < 26 ? static_cast<char>('a' + d)
+                       : static_cast<char>('0' + d - 26));
+    a /= 36;
+  }
+  for (int i = 0; i < 12; ++i) {
+    const auto d = static_cast<char>(b % 36);
+    s.push_back(d < 26 ? static_cast<char>('a' + d)
+                       : static_cast<char>('0' + d - 26));
+    b /= 36;
+  }
+  return s;
+}
+
+LshScaleOutcome RunLshScale(double scale, int num_threads) {
+  constexpr size_t kRows = 4;
+  constexpr size_t kJoinEvery = 100;  // tables 100k and 100k+1 join
+  const size_t tables =
+      std::max<size_t>(200, static_cast<size_t>(10000 * scale));
+
+  tj::PairPrunerOptions options;
+  options.lsh.enabled = true;
+
+  LshScaleOutcome outcome;
+  outcome.tables = tables;
+  outcome.linear_pairs = tables * (tables - 1) / 2;
+
+  tj::TableCatalog catalog;
+  tj::ThreadPool pool(num_threads);
+  tj::IncrementalPairPruner pruner(options);
+  tj::Stopwatch ingest_watch;
+  for (size_t i = 0; i < tables; ++i) {
+    const size_t content = (i % kJoinEvery == 1) ? i - 1 : i;
+    tj::Table table(tj::StrPrintf("scale%06zu", i));
+    tj::Column value("value");
+    for (size_t r = 0; r < kRows; ++r) {
+      value.Append(ScaleCellText(content, r));
+    }
+    if (!table.AddColumn(std::move(value)).ok()) std::exit(1);
+    auto id = catalog.AddTable(std::move(table));
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  catalog.ComputeSignatures(&pool);
+  pruner.Rebuild(catalog, &pool);  // probed fold-in, table by table
+  outcome.probe_pairs = pruner.cumulative_scored_pairs();
+
+  // One more add at full corpus size: the steady-state cost of folding a
+  // fresh table into a 10k-table live corpus.
+  {
+    tj::Table extra("scale-extra");
+    tj::Column value("value");
+    for (size_t r = 0; r < kRows; ++r) {
+      value.Append(ScaleCellText(tables + 7, r));
+    }
+    if (!extra.AddColumn(std::move(value)).ok()) std::exit(1);
+    auto id = catalog.AddTable(std::move(extra));
+    if (!id.ok()) std::exit(1);
+    catalog.ComputeSignatures(&pool);
+    outcome.add_linear_pairs = catalog.num_columns() - 1;
+    pruner.OnTableAdded(catalog, *id, &pool);
+    outcome.add_pairs_scored = pruner.last_scored_pairs();
+  }
+  outcome.ingest_seconds = ingest_watch.ElapsedSeconds();
+
+  // Acceptance: the probed shortlist must be bit-identical to the full
+  // scan, and lossless banding (128x1 at a positive floor) must have
+  // missed nothing the full scan kept.
+  tj::Stopwatch scan_watch;
+  const tj::PairPrunerResult full =
+      tj::ShortlistPairs(catalog, options, &pool);
+  outcome.fullscan_seconds = scan_watch.ElapsedSeconds();
+  const tj::PairPrunerResult probed = pruner.Snapshot();
+  if (probed.shortlist.size() != full.shortlist.size() ||
+      probed.total_pairs != full.total_pairs ||
+      probed.pruned_pairs != full.pruned_pairs) {
+    std::fprintf(stderr,
+                 "lsh-probed shortlist diverges from full scan (%zu/%zu vs "
+                 "%zu/%zu)\n",
+                 probed.shortlist.size(), probed.total_pairs,
+                 full.shortlist.size(), full.total_pairs);
+    std::exit(1);
+  }
+  for (size_t i = 0; i < full.shortlist.size(); ++i) {
+    if (!(probed.shortlist[i].a == full.shortlist[i].a) ||
+        !(probed.shortlist[i].b == full.shortlist[i].b) ||
+        probed.shortlist[i].score != full.shortlist[i].score ||
+        probed.shortlist[i].a_is_source != full.shortlist[i].a_is_source) {
+      std::fprintf(stderr, "lsh-probed shortlist diverges at rank %zu\n", i);
+      std::exit(1);
+    }
+    if (!tj::LshIndex::BandsCollide(
+            options.lsh, catalog.signature(full.shortlist[i].a),
+            catalog.signature(full.shortlist[i].b))) {
+      ++outcome.missed_pairs;
+    }
+  }
+  if (outcome.missed_pairs > 0) {
+    std::fprintf(stderr,
+                 "lossless banding missed %zu full-scan survivors\n",
+                 outcome.missed_pairs);
+    std::exit(1);
   }
   return outcome;
 }
@@ -513,6 +650,25 @@ int main(int argc, char** argv) {
                 static_cast<double>(inc_half.rebuild_pairs)
           : 0.0);
 
+  // Million-table scale: LSH-banded probes vs the linear-scan incremental
+  // build on a 10k-table corpus (scaled by TJ_BENCH_SCALE, floor 200).
+  const LshScaleOutcome lsh = RunLshScale(scale, num_threads);
+  std::printf(
+      "\nlsh scale (%zu tables): probes scored %zu of %zu linear-scan "
+      "pairs (%.3fx), one full-size add scored %zu of %zu (%.3fx), "
+      "0 missed, ingest %s, full-scan check %s\n",
+      lsh.tables, lsh.probe_pairs, lsh.linear_pairs,
+      lsh.linear_pairs > 0 ? static_cast<double>(lsh.probe_pairs) /
+                                 static_cast<double>(lsh.linear_pairs)
+                           : 0.0,
+      lsh.add_pairs_scored, lsh.add_linear_pairs,
+      lsh.add_linear_pairs > 0
+          ? static_cast<double>(lsh.add_pairs_scored) /
+                static_cast<double>(lsh.add_linear_pairs)
+          : 0.0,
+      FormatSeconds(lsh.ingest_seconds).c_str(),
+      FormatSeconds(lsh.fullscan_seconds).c_str());
+
   const ServeOutcome served = RunServed(corpus, pruned_options);
   std::printf(
       "\nserved queries (tjd protocol, %zu queries): p50 %.0f us, p99 %.0f "
@@ -582,6 +738,19 @@ int main(int argc, char** argv) {
                  "  \"queries_per_second\": %.3f,\n",
                  served.query_p50_us, served.query_p99_us,
                  served.snapshot_rebuild_ms, served.queries_per_second);
+    std::fprintf(f,
+                 "  \"lsh_scale_tables\": %zu,\n"
+                 "  \"lsh_probe_pairs\": %zu,\n"
+                 "  \"lsh_linear_pairs\": %zu,\n"
+                 "  \"lsh_missed_pairs\": %zu,\n"
+                 "  \"add_pairs_scored_10k\": %zu,\n"
+                 "  \"add_linear_pairs_10k\": %zu,\n"
+                 "  \"lsh_ingest_seconds\": %.6f,\n"
+                 "  \"lsh_fullscan_seconds\": %.6f,\n",
+                 lsh.tables, lsh.probe_pairs, lsh.linear_pairs,
+                 lsh.missed_pairs, lsh.add_pairs_scored,
+                 lsh.add_linear_pairs, lsh.ingest_seconds,
+                 lsh.fullscan_seconds);
     WriteStorageJsonTail(f, storage);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());

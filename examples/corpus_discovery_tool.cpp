@@ -66,6 +66,7 @@ int Usage(const char* argv0) {
       "          [--max-candidates N] [--support F] [--top K]\n"
       "          [--signatures cache.tj] [--out results.csv]\n"
       "          [--spill-dir DIR] [--memory-budget BYTES]\n"
+      "          [--lsh] [--lsh-bands N] [--lsh-rows N]\n"
       "          [--failpoints SPEC]\n"
       "          [--add FILE]... [--remove NAME]... [--update FILE]...\n"
       "       %s <csv-dir> --serve SOCKET [--watch DIR] [options]\n"
@@ -84,6 +85,12 @@ int Usage(const char* argv0) {
       "      re-mapped on access. Requires --spill-dir\n"
       "  --add F / --remove NAME / --update F: incremental catalog\n"
       "      maintenance; only the touched table's pairs are rescored\n"
+      "  --lsh: band the MinHash sketches into bucket keys so incremental\n"
+      "      adds exact-score only bucket-colliding columns instead of the\n"
+      "      whole catalog (default banding 128x1 is lossless at any\n"
+      "      positive --min-containment floor)\n"
+      "  --lsh-bands N / --lsh-rows N: banding geometry (bands x rows per\n"
+      "      band; coarser settings trade recall for fewer probes)\n"
       "  --failpoints SPEC: arm fault-injection sites, e.g.\n"
       "      'mmap/sync=p:0.5,errno:EIO;mmap/ftruncate=errno:ENOSPC'\n"
       "      (requires a -DTJ_FAILPOINTS=ON build)\n"
@@ -498,6 +505,15 @@ int main(int argc, char** argv) {
                i + 1 < argc) {
       options.pruner.max_candidates =
           static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--lsh") == 0) {
+      options.pruner.lsh.enabled = true;
+    } else if (std::strcmp(argv[i], "--lsh-bands") == 0 && i + 1 < argc) {
+      options.pruner.lsh.enabled = true;
+      options.pruner.lsh.bands = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--lsh-rows") == 0 && i + 1 < argc) {
+      options.pruner.lsh.enabled = true;
+      options.pruner.lsh.rows_per_band =
+          static_cast<size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--support") == 0 && i + 1 < argc) {
       options.join.min_join_support = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
@@ -545,6 +561,17 @@ int main(int argc, char** argv) {
                    valid_storage.ToString().c_str());
       return 2;
     }
+  }
+  if (options.pruner.lsh.enabled &&
+      !LshIndex::GuaranteesRecall(options.pruner.lsh,
+                                  SignatureOptions().num_hashes,
+                                  options.pruner.min_containment)) {
+    std::fprintf(stderr,
+                 "note: --lsh banding %zux%zu at floor %g is approximate; "
+                 "low-overlap pairs may be missed (128x1 with a positive "
+                 "floor is lossless)\n",
+                 options.pruner.lsh.bands, options.pruner.lsh.rows_per_band,
+                 options.pruner.min_containment);
   }
   if (!watch_dir.empty() && serve_socket.empty()) {
     std::fprintf(stderr, "--watch requires --serve\n");

@@ -20,6 +20,8 @@
 #include "common/failpoint.h"
 #include "common/strings.h"
 #include "core/serialization.h"
+#include "corpus/lsh_index.h"
+#include "corpus/signature.h"
 #include "join/join_engine.h"
 #include "table/csv.h"
 #include "table/spill_arena.h"
@@ -33,7 +35,11 @@ int Usage(const char* argv0) {
                "          [--support F] [--sample N] [--threads N] "
                "[--rules out.tj] [--out out.csv] [--golden pairs.csv]\n"
                "          [--spill-dir DIR] [--memory-budget BYTES]\n"
-               "          [--failpoints SPEC]\n"
+               "          [--precheck] [--failpoints SPEC]\n"
+               "       --precheck: sketch both join columns and report the "
+               "estimated n-gram containment plus whether their banded "
+               "MinHash sketches collide (what the corpus LSH probe would "
+               "see), then exit — 0 when they collide, 3 when they do not\n"
                "       --threads N: worker threads for matching and "
                "discovery (0 = all cores, default)\n"
                "       --spill-dir DIR: stream both tables into mmap-backed "
@@ -64,10 +70,13 @@ int main(int argc, char** argv) {
   std::string rules_path;
   std::string out_path;
   std::string golden_path;
+  bool precheck = false;
   StorageOptions storage;
   for (int i = 5; i < argc; ++i) {
     if (std::strcmp(argv[i], "--support") == 0 && i + 1 < argc) {
       support = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--precheck") == 0) {
+      precheck = true;
     } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
       storage.spill_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--memory-budget") == 0 &&
@@ -145,6 +154,36 @@ int main(int argc, char** argv) {
   if (!left_idx.ok() || !right_idx.ok()) {
     std::fprintf(stderr, "join column not found\n");
     return 1;
+  }
+
+  if (precheck) {
+    // The corpus pruning view of this pair, without running the join: the
+    // same sketches TableCatalog::ComputeSignatures builds and the same
+    // banded-collision test the LSH probe path uses to shortlist partners.
+    const SignatureOptions sig_options;
+    const ColumnSignature sig_left =
+        ComputeColumnSignature(left->column(*left_idx), sig_options);
+    const ColumnSignature sig_right =
+        ComputeColumnSignature(right->column(*right_idx), sig_options);
+    const double containment = EstimateNgramContainment(sig_left, sig_right);
+    const bool collide =
+        LshIndex::BandsCollide(LshOptions(), sig_left, sig_right);
+    std::printf("precheck %s.%s vs %s.%s\n", left_path.c_str(),
+                left_column.c_str(), right_path.c_str(),
+                right_column.c_str());
+    std::printf("  distinct 4-grams: %zu vs %zu\n",
+                sig_left.distinct_ngrams, sig_right.distinct_ngrams);
+    std::printf("  estimated jaccard: %.4f\n",
+                EstimateJaccard(sig_left, sig_right));
+    std::printf("  estimated containment: %.4f\n", containment);
+    std::printf("  lsh bands collide (128x1): %s\n",
+                collide ? "yes" : "no");
+    std::printf("  verdict: %s\n",
+                collide ? "worth joining (a corpus probe would surface "
+                          "this pair)"
+                        : "unpromising (a corpus probe would never score "
+                          "this pair)");
+    return collide ? 0 : 3;
   }
 
   // The more descriptive column becomes the transformation source (§4.2.1).

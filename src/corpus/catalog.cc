@@ -172,6 +172,11 @@ void TableCatalog::AdoptAndFreeze(Table* table) const {
   // per-column lowercase cache persists across every pair that touches the
   // column. Mutation goes through UpdateTable with a fresh (copied) table.
   if (storage_.spill_enabled()) table->AdoptStorage(storage_);
+  // Budgeted catalogs hand every adopted column the shared resident-bytes
+  // cell, so allocations the catalog never sees from its own call sites
+  // (the row matcher's lowercase shadows) are counted the moment they are
+  // installed instead of drifting until the next signature-pass resync.
+  if (budget_active()) table->AttachResidentCounter(resident_bytes_);
   table->Freeze();
 }
 
@@ -458,31 +463,25 @@ Status TableCatalog::EnsureTableResident(uint32_t t) const {
 void TableCatalog::BumpResidentBytes(size_t before, size_t after) const {
   if (!budget_active() || before == after) return;
   if (after > before) {
-    resident_bytes_.fetch_add(after - before, std::memory_order_relaxed);
-    return;
-  }
-  // Clamp at zero: concurrent double-counted re-maps mean the counter can
-  // sit slightly above reality, so a subtraction may try to cross zero.
-  const size_t delta = before - after;
-  size_t current = resident_bytes_.load(std::memory_order_relaxed);
-  while (!resident_bytes_.compare_exchange_weak(
-      current, current > delta ? current - delta : 0,
-      std::memory_order_relaxed)) {
+    resident_bytes_->Add(after - before);
+  } else {
+    resident_bytes_->Sub(before - after);
   }
 }
 
 void TableCatalog::ResyncResidentBytes() const {
   if (!budget_active()) return;
-  resident_bytes_.store(ResidentCellBytes(), std::memory_order_relaxed);
+  resident_bytes_->Set(ResidentCellBytes());
 }
 
-void TableCatalog::EnforceMemoryBudget() const {
+void TableCatalog::EnforceMemoryBudget(ThreadPool* pool) const {
   if (!budget_active()) return;
   // The running counter replaces the per-call ResidentCellBytes() rescan
-  // that made budgeted ingest O(N^2) in catalog size. It can lag lowercase
-  // shadows materialized behind the catalog's back (resynced at every
-  // ComputeSignatures), so enforcement may briefly overshoot the budget —
-  // never the other way around in a quiesced catalog.
+  // that made budgeted ingest O(N^2) in catalog size. Columns credit their
+  // lowercase shadows to it at creation, so the only residual drift is the
+  // upward slack of racing double-counted re-maps (resynced at every
+  // ComputeSignatures) — enforcement may briefly overshoot the budget,
+  // never evict too much.
   size_t resident = CachedResidentBytes();
   if (resident <= storage_.memory_budget_bytes) return;
   // Coldest-first: sort live resident spilled tables by last touch and
@@ -490,11 +489,48 @@ void TableCatalog::EnforceMemoryBudget() const {
   // being worked on is never evicted under its caller.
   std::vector<const TableEntry*> candidates;
   uint64_t newest = 0;
-  for (const TableEntry& entry : tables_) {
-    if (!entry.live) continue;
-    newest = std::max(newest, entry.last_touch);
-    if (entry.table->spilled() && entry.table->resident()) {
-      candidates.push_back(&entry);
+  if (pool != nullptr && pool->size() > 1 && tables_.size() > 1 &&
+      !InParallelFor()) {
+    // Sharded candidate scan: each chunk of table slots collects its own
+    // candidate list and local newest-touch, merged in chunk order — the
+    // merged vector (and thus the eviction order after the sort) is
+    // identical to the serial scan. Probing spilled()/resident() walks
+    // every column, so at catalog scale the scan dominates enforcement
+    // when nothing needs evicting.
+    struct Shard {
+      std::vector<const TableEntry*> candidates;
+      uint64_t newest = 0;
+    };
+    const size_t num_chunks =
+        std::min(tables_.size(), static_cast<size_t>(pool->size()) * 4);
+    std::vector<Shard> shards(num_chunks);
+    pool->ParallelFor(tables_.size(), num_chunks,
+                      [&](int /*worker*/, size_t chunk, size_t begin,
+                          size_t end) {
+                        Shard& shard = shards[chunk];
+                        for (size_t t = begin; t < end; ++t) {
+                          const TableEntry& entry = tables_[t];
+                          if (!entry.live) continue;
+                          shard.newest =
+                              std::max(shard.newest, entry.last_touch);
+                          if (entry.table->spilled() &&
+                              entry.table->resident()) {
+                            shard.candidates.push_back(&entry);
+                          }
+                        }
+                      });
+    for (const Shard& shard : shards) {
+      newest = std::max(newest, shard.newest);
+      candidates.insert(candidates.end(), shard.candidates.begin(),
+                        shard.candidates.end());
+    }
+  } else {
+    for (const TableEntry& entry : tables_) {
+      if (!entry.live) continue;
+      newest = std::max(newest, entry.last_touch);
+      if (entry.table->spilled() && entry.table->resident()) {
+        candidates.push_back(&entry);
+      }
     }
   }
   std::sort(candidates.begin(), candidates.end(),
@@ -526,13 +562,36 @@ void TableCatalog::EnforceMemoryBudget() const {
 
 void TableCatalog::ComputeSignatures(ThreadPool* pool) {
   std::vector<ColumnRef> missing;
-  for (uint32_t t = 0; t < tables_.size(); ++t) {
-    if (!tables_[t].live) continue;
-    for (uint32_t c = 0; c < tables_[t].table->num_columns(); ++c) {
-      if (!tables_[t].signatures[c].has_value()) {
-        missing.push_back(ColumnRef{t, c});
+  auto collect_missing = [&](size_t begin, size_t end,
+                             std::vector<ColumnRef>* out) {
+    for (size_t t = begin; t < end; ++t) {
+      if (!tables_[t].live) continue;
+      for (uint32_t c = 0; c < tables_[t].table->num_columns(); ++c) {
+        if (!tables_[t].signatures[c].has_value()) {
+          out->push_back(ColumnRef{static_cast<uint32_t>(t), c});
+        }
       }
     }
+  };
+  if (pool != nullptr && pool->size() > 1 && tables_.size() > 1 &&
+      !InParallelFor()) {
+    // Sharded collection: per-chunk vectors merged in chunk order are the
+    // slot-order list the serial loop builds, so the compute fan-out below
+    // sees an identical work list for every pool size. A no-op pass over a
+    // million-table catalog is this scan — worth fanning out on its own.
+    const size_t num_chunks =
+        std::min(tables_.size(), static_cast<size_t>(pool->size()) * 4);
+    std::vector<std::vector<ColumnRef>> shards(num_chunks);
+    pool->ParallelFor(tables_.size(), num_chunks,
+                      [&](int /*worker*/, size_t chunk, size_t begin,
+                          size_t end) {
+                        collect_missing(begin, end, &shards[chunk]);
+                      });
+    for (std::vector<ColumnRef>& shard : shards) {
+      missing.insert(missing.end(), shard.begin(), shard.end());
+    }
+  } else {
+    collect_missing(0, tables_.size(), &missing);
   }
   if (missing.empty()) return;
 
@@ -576,7 +635,7 @@ void TableCatalog::ComputeSignatures(ThreadPool* pool) {
   // any lowercase shadows or double-counted re-maps the incremental
   // accounting missed since the last pass.
   ResyncResidentBytes();
-  EnforceMemoryBudget();
+  EnforceMemoryBudget(pool);
 }
 
 bool TableCatalog::HasSignature(ColumnRef ref) const {

@@ -89,9 +89,11 @@ class TableCatalog : public CorpusColumnSource {
                         StorageOptions storage = StorageOptions())
       : options_(options), storage_(std::move(storage)) {}
 
-  /// Movable (factory-style construction in tests and tools). The atomic
-  /// resident-bytes counter deletes the defaulted moves, so these carry
-  /// its value explicitly; moving is only safe while no reader races the
+  /// Movable (factory-style construction in tests and tools). The
+  /// resident-bytes counter is a shared cell, so the adopted tables'
+  /// shadow-allocation hooks keep writing to the same counter across the
+  /// move; the source is re-armed with a fresh cell so it stays usable as
+  /// an empty catalog. Moving is only safe while no reader races the
   /// source, which a move already requires of every other member.
   TableCatalog(TableCatalog&& other) noexcept
       : options_(std::move(other.options_)),
@@ -100,8 +102,8 @@ class TableCatalog : public CorpusColumnSource {
         num_live_(other.num_live_),
         mutation_epoch_(other.mutation_epoch_),
         touch_clock_(other.touch_clock_),
-        resident_bytes_(
-            other.resident_bytes_.load(std::memory_order_relaxed)),
+        resident_bytes_(std::exchange(
+            other.resident_bytes_, std::make_shared<ResidentByteCounter>())),
         table_index_(std::move(other.table_index_)) {}
   TableCatalog& operator=(TableCatalog&& other) noexcept {
     if (this != &other) {
@@ -111,9 +113,8 @@ class TableCatalog : public CorpusColumnSource {
       num_live_ = other.num_live_;
       mutation_epoch_ = other.mutation_epoch_;
       touch_clock_ = other.touch_clock_;
-      resident_bytes_.store(
-          other.resident_bytes_.load(std::memory_order_relaxed),
-          std::memory_order_relaxed);
+      resident_bytes_ = std::exchange(
+          other.resident_bytes_, std::make_shared<ResidentByteCounter>());
       table_index_ = std::move(other.table_index_);
     }
     return *this;
@@ -224,15 +225,15 @@ class TableCatalog : public CorpusColumnSource {
   /// of rescanning every table per AddTable (the O(N^2) ingest debt from
   /// the spill work). Maintained incrementally at catalog-mediated
   /// residency transitions (add/update/remove, eviction, transparent
-  /// re-map on access) and resynced to the exact scan at every
-  /// ComputeSignatures. Between resyncs it can lag reality by lowercase
-  /// shadows the row matcher materializes behind the catalog's back —
-  /// enforcement may briefly overshoot by that much, never evict too much.
-  /// Equals ResidentCellBytes() whenever the catalog is quiesced after a
-  /// signature pass. Always 0 when no budget is active.
-  size_t CachedResidentBytes() const {
-    return resident_bytes_.load(std::memory_order_relaxed);
-  }
+  /// re-map on access); lowercase shadows the row matcher materializes
+  /// behind the catalog's back are credited by the columns themselves at
+  /// creation time (Column::AttachResidentCounter — the cell is shared
+  /// with every adopted column of a budgeted catalog). The exact scan at
+  /// every ComputeSignatures resyncs away the residual upward drift of
+  /// racing double-counted re-maps. Equals ResidentCellBytes() whenever
+  /// the catalog is quiesced after a signature pass. Always 0 when no
+  /// budget is active.
+  size_t CachedResidentBytes() const { return resident_bytes_->value(); }
   /// Bytes held in spill files across live tables.
   size_t SpilledBytes() const;
   /// Re-maps an evicted table and marks it recently used (serial contexts;
@@ -247,8 +248,11 @@ class TableCatalog : public CorpusColumnSource {
   /// access makes later reads safe, but views held across the call die).
   /// A table whose sync fails is skipped — it stays resident (possibly
   /// unsynced pages are never dropped; logged + counted) and colder
-  /// candidates are tried instead.
-  void EnforceMemoryBudget() const;
+  /// candidates are tried instead. With a `pool`, the candidate scan over
+  /// the table slots fans out in chunk-ordered shards (the eviction order
+  /// and outcome are identical to the serial scan); the eviction loop
+  /// itself stays serial — Evict must not race with readers.
+  void EnforceMemoryBudget(ThreadPool* pool = nullptr) const;
 
   /// Ensures every live column's signature is cached. Columns still missing
   /// one are computed — in parallel over columns when `pool` is given (each
@@ -324,10 +328,13 @@ class TableCatalog : public CorpusColumnSource {
   uint64_t mutation_epoch_ = 0;
   /// Monotonic touch clock feeding TableEntry::last_touch.
   mutable uint64_t touch_clock_ = 0;
-  /// Running resident-bytes estimate (see CachedResidentBytes). Atomic
-  /// because transparent re-maps on read paths bump it under concurrent
-  /// readers; relaxed ordering is enough for a budget hint.
-  mutable std::atomic<size_t> resident_bytes_{0};
+  /// Running resident-bytes estimate (see CachedResidentBytes). A shared
+  /// cell rather than a plain atomic member: adopted columns hold a
+  /// reference and credit their shadow allocations to it directly, and the
+  /// cell survives moves of the catalog (the columns keep writing to the
+  /// same counter). Never null.
+  mutable std::shared_ptr<ResidentByteCounter> resident_bytes_ =
+      std::make_shared<ResidentByteCounter>();
   std::unordered_map<std::string, uint32_t, StringHash, StringEq>
       table_index_;
 };

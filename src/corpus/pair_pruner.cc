@@ -129,6 +129,9 @@ void IncrementalPairPruner::Rebuild(const TableCatalog& catalog,
                                     ThreadPool* pool) {
   groups_.clear();
   tracked_.clear();
+  table_columns_.clear();
+  tracked_columns_total_ = 0;
+  lsh_.Clear();
   total_pairs_ = 0;
   size_t scored = 0;
   for (uint32_t t = 0; t < catalog.num_slots(); ++t) {
@@ -145,9 +148,30 @@ void IncrementalPairPruner::OnTableAdded(const TableCatalog& catalog,
   TJ_CHECK(catalog.IsLive(table_id));
   TJ_CHECK(tracked_.find(table_id) == tracked_.end());
 
-  const std::vector<uint32_t> partners(tracked_.begin(), tracked_.end());
   const auto num_new_columns =
       static_cast<uint32_t>(catalog.table(table_id).num_columns());
+
+  if (options_.lsh.enabled) {
+    AddViaLshProbe(catalog, table_id, num_new_columns, pool);
+  } else {
+    AddViaFullScan(catalog, table_id, num_new_columns, pool);
+  }
+
+  // Both modes account the full cross-pair space the exhaustive scan would
+  // consider, so Snapshot()'s total/pruned counters match ShortlistPairs
+  // regardless of how many pairs the probe actually touched.
+  total_pairs_ += num_new_columns * tracked_columns_total_;
+  tracked_columns_total_ += num_new_columns;
+  table_columns_[table_id] = num_new_columns;
+  tracked_.insert(table_id);
+  cumulative_scored_pairs_ += last_scored_pairs_;
+}
+
+void IncrementalPairPruner::AddViaFullScan(const TableCatalog& catalog,
+                                           uint32_t table_id,
+                                           uint32_t num_new_columns,
+                                           ThreadPool* pool) {
+  const std::vector<uint32_t> partners(tracked_.begin(), tracked_.end());
 
   // Scores every column of `table_id` against every column of one partner
   // table, producing that unordered pair's whole group.
@@ -192,17 +216,101 @@ void IncrementalPairPruner::OnTableAdded(const TableCatalog& catalog,
   size_t scored_pairs = 0;
   for (size_t i = 0; i < partners.size(); ++i) {
     scored_pairs += scored[i].considered;
-    total_pairs_ += scored[i].considered;
     const auto key = std::minmax(table_id, partners[i]);
     groups_.emplace(std::make_pair(key.first, key.second),
                     std::move(scored[i]));
   }
-  tracked_.insert(table_id);
   last_scored_pairs_ = scored_pairs;
+}
+
+void IncrementalPairPruner::AddViaLshProbe(const TableCatalog& catalog,
+                                           uint32_t table_id,
+                                           uint32_t num_new_columns,
+                                           ThreadPool* pool) {
+  // Probe before inserting: the index holds only previously tracked
+  // columns, so the new table cannot collide with itself and OnTableUpdated
+  // (remove + re-add) never sees its own stale entries.
+  struct Collision {
+    ColumnRef mine;
+    ColumnRef partner;
+  };
+  std::map<uint32_t, std::vector<Collision>> by_partner;
+  for (uint32_t cn = 0; cn < num_new_columns; ++cn) {
+    const ColumnRef mine{table_id, cn};
+    if (!catalog.HasSignature(mine)) continue;
+    for (const ColumnRef& hit : lsh_.Probe(catalog.signature(mine))) {
+      by_partner[hit.table].push_back({mine, hit});
+    }
+  }
+
+  std::vector<std::pair<uint32_t, std::vector<Collision>>> partners;
+  partners.reserve(by_partner.size());
+  for (auto& [partner, collisions] : by_partner) {
+    partners.emplace_back(partner, std::move(collisions));
+  }
+
+  // Exact-score only the colliding pairs, one group slot per partner table
+  // (the same merge discipline as the full scan, so results are identical
+  // for every pool size). Groups keep considered == 0: in LSH mode the
+  // totals are maintained arithmetically by OnTableAdded/OnTableRemoved,
+  // and storing the ~N^2/2 empty groups a million-table corpus implies is
+  // exactly what this path exists to avoid.
+  std::vector<Group> scored(partners.size());
+  size_t scored_pairs = 0;
+  auto score_partner = [&](size_t i) {
+    ColumnPairCandidate candidate;
+    for (const Collision& c : partners[i].second) {
+      ColumnRef a = c.mine;
+      ColumnRef b = c.partner;
+      if (b < a) std::swap(a, b);
+      if (ScoreColumnPair(catalog, a, b, options_, &candidate)) {
+        scored[i].survivors.push_back(candidate);
+      }
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && partners.size() > 1 &&
+      !InParallelFor()) {
+    pool->ParallelFor(partners.size(),
+                      std::min(partners.size(),
+                               static_cast<size_t>(pool->size()) * 4),
+                      [&](int /*worker*/, size_t /*chunk*/, size_t begin,
+                          size_t end) {
+                        for (size_t i = begin; i < end; ++i) score_partner(i);
+                      });
+  } else {
+    for (size_t i = 0; i < partners.size(); ++i) score_partner(i);
+  }
+
+  for (size_t i = 0; i < partners.size(); ++i) {
+    scored_pairs += partners[i].second.size();
+    if (scored[i].survivors.empty()) continue;
+    const auto key = std::minmax(table_id, partners[i].first);
+    groups_.emplace(std::make_pair(key.first, key.second),
+                    std::move(scored[i]));
+  }
+  last_scored_pairs_ = scored_pairs;
+
+  for (uint32_t cn = 0; cn < num_new_columns; ++cn) {
+    const ColumnRef mine{table_id, cn};
+    if (!catalog.HasSignature(mine)) continue;
+    lsh_.Insert(mine, catalog.signature(mine));
+  }
 }
 
 void IncrementalPairPruner::OnTableRemoved(uint32_t table_id) {
   TJ_CHECK(tracked_.erase(table_id) == 1);
+  const auto cols = table_columns_.find(table_id);
+  TJ_CHECK(cols != table_columns_.end());
+  tracked_columns_total_ -= cols->second;
+  if (options_.lsh.enabled) {
+    // LSH-mode groups carry considered == 0; subtract the removed table's
+    // share of the pair space arithmetically (its columns against every
+    // still-tracked column).
+    total_pairs_ -= static_cast<size_t>(cols->second) *
+                    tracked_columns_total_;
+    lsh_.RemoveTable(table_id);
+  }
+  table_columns_.erase(cols);
   for (auto it = groups_.begin(); it != groups_.end();) {
     if (it->first.first == table_id || it->first.second == table_id) {
       total_pairs_ -= it->second.considered;
@@ -240,7 +348,24 @@ Status ValidateOptions(const PairPrunerOptions& options) {
     return Status::InvalidArgument(
         "PairPrunerOptions::min_containment must be in [0, 1]");
   }
-  return Status::OK();
+  return ValidateOptions(options.lsh);
+}
+
+size_t CountLshMissedPairs(const TableCatalog& catalog,
+                           const PairPrunerOptions& options,
+                           ThreadPool* pool) {
+  // Truncation must not hide survivors the probe failed to reach.
+  PairPrunerOptions untruncated = options;
+  untruncated.max_candidates = 0;
+  const PairPrunerResult full = ShortlistPairs(catalog, untruncated, pool);
+  size_t missed = 0;
+  for (const ColumnPairCandidate& c : full.shortlist) {
+    if (!LshIndex::BandsCollide(options.lsh, catalog.signature(c.a),
+                                catalog.signature(c.b))) {
+      ++missed;
+    }
+  }
+  return missed;
 }
 
 }  // namespace tj

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "corpus/catalog.h"
+#include "corpus/lsh_index.h"
 
 namespace tj {
 
@@ -46,6 +47,16 @@ struct PairPrunerOptions {
 
   /// Keep at most this many top-ranked candidates (0 = unlimited).
   size_t max_candidates = 0;
+
+  /// Banded-LSH candidate lookup for the IncrementalPairPruner (lsh_index.h).
+  /// When enabled, OnTableAdded probes the band buckets and exact-scores only
+  /// colliding pairs — sublinear per add — instead of scanning every tracked
+  /// column. With the lossless default banding
+  /// (LshIndex::GuaranteesRecall(lsh, num_hashes, min_containment) true) the
+  /// shortlist stays bit-identical to the exhaustive scan. Ignored by the
+  /// one-shot ShortlistPairs, which is the exhaustive reference by
+  /// definition.
+  LshOptions lsh;
 };
 
 /// One surviving cross-table column pair. `a` < `b` in catalog order; the
@@ -97,10 +108,21 @@ PairPrunerResult ShortlistPairs(const TableCatalog& catalog,
                                 const PairPrunerOptions& options,
                                 ThreadPool* pool = nullptr);
 
-/// Validates a PairPrunerOptions (containment floor in range, gates sane)
-/// with an InvalidArgument instead of downstream misbehavior. Defaults
-/// always validate.
+/// Validates a PairPrunerOptions (containment floor in range, gates sane,
+/// LSH banding non-degenerate) with an InvalidArgument instead of
+/// downstream misbehavior. Defaults always validate.
 Status ValidateOptions(const PairPrunerOptions& options);
+
+/// Recall diagnostic for a banding choice: the number of pairs the
+/// exhaustive scan keeps at `options`' floor whose sketches do NOT collide
+/// in any band — pairs a probe-driven incremental pruner would silently
+/// miss. Zero whenever LshIndex::GuaranteesRecall holds for the catalog's
+/// signature width; coarser bandings trade this count for fewer probe
+/// collisions. Counted over the full (untruncated) survivor set, so
+/// max_candidates does not hide misses.
+size_t CountLshMissedPairs(const TableCatalog& catalog,
+                           const PairPrunerOptions& options,
+                           ThreadPool* pool = nullptr);
 
 /// Live shortlist over a mutating catalog. Survivor candidates are held in
 /// mergeable per-table-pair groups, so table-level add/remove/update only
@@ -115,7 +137,7 @@ Status ValidateOptions(const PairPrunerOptions& options);
 class IncrementalPairPruner {
  public:
   explicit IncrementalPairPruner(PairPrunerOptions options = {})
-      : options_(options) {}
+      : options_(options), lsh_(options.lsh) {}
 
   const PairPrunerOptions& options() const { return options_; }
 
@@ -126,9 +148,13 @@ class IncrementalPairPruner {
 
   /// Scores only `table_id`'s columns against every table already tracked
   /// — O(columns(T) * columns(rest)) work, O(N) in catalog size — and
-  /// merges the surviving candidates in. In parallel over partner tables
-  /// when `pool` is given (per-partner groups are independent, so results
-  /// are identical for every pool size). Requires the table's signatures.
+  /// merges the surviving candidates in. With options.lsh.enabled the scan
+  /// is replaced by a band-bucket probe: only columns colliding with the
+  /// new sketches in >= 1 bucket are exact-scored (sublinear per add), and
+  /// last_scored_pairs() reports the probed count. In parallel over partner
+  /// tables when `pool` is given (per-partner groups are independent, so
+  /// results are identical for every pool size). Requires the table's
+  /// signatures.
   void OnTableAdded(const TableCatalog& catalog, uint32_t table_id,
                     ThreadPool* pool = nullptr);
 
@@ -147,6 +173,17 @@ class IncrementalPairPruner {
   /// bench_corpus incremental benchmark reports).
   size_t last_scored_pairs() const { return last_scored_pairs_; }
 
+  /// Pairs exact-scored across the pruner's whole lifetime (every Rebuild /
+  /// OnTableAdded / OnTableUpdated). With LSH enabled this is the probe
+  /// workload — the sublinear-cost figure the 10k-table bench reports
+  /// against the exhaustive scan's quadratic count.
+  size_t cumulative_scored_pairs() const { return cumulative_scored_pairs_; }
+
+  /// The band-bucket index backing the probe path (empty unless
+  /// options.lsh.enabled). Exposed so the serving layer's snapshots can
+  /// copy it and report bucket statistics.
+  const LshIndex& lsh_index() const { return lsh_; }
+
   /// Ranked shortlist + totals, bit-identical to ShortlistPairs(catalog,
   /// options) over the same live tables.
   PairPrunerResult Snapshot() const;
@@ -158,14 +195,31 @@ class IncrementalPairPruner {
     size_t considered = 0;
   };
 
+  /// Exhaustive per-add scan: new columns against every tracked column.
+  void AddViaFullScan(const TableCatalog& catalog, uint32_t table_id,
+                      uint32_t num_new_columns, ThreadPool* pool);
+  /// Probe path: exact-score only band-bucket collisions.
+  void AddViaLshProbe(const TableCatalog& catalog, uint32_t table_id,
+                      uint32_t num_new_columns, ThreadPool* pool);
+
   PairPrunerOptions options_;
-  /// Keyed by (lo table id, hi table id); present for every tracked pair
-  /// that has been scored (even when no candidate survived, so considered
-  /// counts stay exact).
+  /// Keyed by (lo table id, hi table id). Exhaustive mode keeps a group for
+  /// every scored pair — even with no survivors — so `considered` counts
+  /// stay exact. LSH mode keeps only groups with survivors (a million-table
+  /// corpus cannot afford N^2/2 empty map entries) and maintains
+  /// total_pairs_ arithmetically from per-table column counts instead.
   std::map<std::pair<uint32_t, uint32_t>, Group> groups_;
   std::set<uint32_t> tracked_;
+  /// Column count of each tracked table, recorded at add time — the catalog
+  /// has typically tombstoned a table before OnTableRemoved runs, so the
+  /// count must not be re-queried then.
+  std::map<uint32_t, uint32_t> table_columns_;
+  /// Sum of table_columns_ values (columns currently folded in).
+  size_t tracked_columns_total_ = 0;
+  LshIndex lsh_;
   size_t total_pairs_ = 0;
   size_t last_scored_pairs_ = 0;
+  size_t cumulative_scored_pairs_ = 0;
 };
 
 }  // namespace tj

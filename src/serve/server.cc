@@ -481,6 +481,14 @@ JsonValue CorpusServer::HandleStats() {
   response.Set("spilled_bytes",
                JsonValue::Number(
                    static_cast<double>(snapshot->spilled_bytes())));
+  if (snapshot->lsh_index() != nullptr) {
+    response.Set("lsh_buckets",
+                 JsonValue::Number(static_cast<double>(
+                     snapshot->lsh_index()->num_buckets())));
+    response.Set("lsh_entries",
+                 JsonValue::Number(static_cast<double>(
+                     snapshot->lsh_index()->num_entries())));
+  }
   response.Set("queries_served",
                JsonValue::Number(static_cast<double>(
                    queries_served_.load(std::memory_order_relaxed))));

@@ -22,6 +22,9 @@ std::shared_ptr<const CorpusSnapshot> CorpusSnapshot::Build(
     snap->slots_[t] = std::move(table);
   }
   snap->shortlist_ = pruner.Snapshot();
+  if (pruner.options().lsh.enabled) {
+    snap->lsh_index_ = std::make_shared<const LshIndex>(pruner.lsh_index());
+  }
   return snap;
 }
 

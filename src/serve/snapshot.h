@@ -51,6 +51,14 @@ class CorpusSnapshot : public CorpusColumnSource {
   size_t resident_bytes() const { return resident_bytes_; }
   size_t spilled_bytes() const { return spilled_bytes_; }
 
+  /// The pruner's banded LSH index as of this epoch (null when the probe
+  /// path is disabled). An independent copy, so later catalog mutations —
+  /// which rewrite the live pruner's buckets — never reach a snapshot a
+  /// query is still reading; stats report its bucket/entry counts.
+  const std::shared_ptr<const LshIndex>& lsh_index() const {
+    return lsh_index_;
+  }
+
   /// True when `t` addresses a table this snapshot holds.
   bool IsLive(uint32_t t) const {
     return t < slots_.size() && slots_[t] != nullptr;
@@ -82,6 +90,7 @@ class CorpusSnapshot : public CorpusColumnSource {
   std::vector<std::shared_ptr<const Table>> slots_;
   std::unordered_map<std::string, uint32_t> by_name_;
   PairPrunerResult shortlist_;
+  std::shared_ptr<const LshIndex> lsh_index_;
   size_t num_tables_ = 0;
   size_t num_columns_ = 0;
   size_t resident_bytes_ = 0;

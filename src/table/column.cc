@@ -125,6 +125,8 @@ void Column::CopyFrom(const Column& other) {
   }
   SyncBase();
   frozen_ = false;
+  // A copy is a detached mutable column: nobody budgets it.
+  resident_counter_.reset();
 }
 
 Column::Column(Column&& other) noexcept
@@ -135,7 +137,8 @@ Column::Column(Column&& other) noexcept
       base_(other.base_.exchange(nullptr, std::memory_order_relaxed)),
       slots_(std::move(other.slots_)),
       frozen_(other.frozen_),
-      lowered_(other.lowered_.exchange(nullptr, std::memory_order_acq_rel)) {
+      lowered_(other.lowered_.exchange(nullptr, std::memory_order_acq_rel)),
+      resident_counter_(std::move(other.resident_counter_)) {
   other.frozen_ = false;
 }
 
@@ -153,6 +156,7 @@ Column& Column::operator=(Column&& other) noexcept {
   other.frozen_ = false;
   lowered_.store(other.lowered_.exchange(nullptr, std::memory_order_acq_rel),
                  std::memory_order_release);
+  resident_counter_ = std::move(other.resident_counter_);
   return *this;
 }
 
@@ -420,6 +424,15 @@ const Column& Column::LowercasedAscii() const {
   if (lowered_.compare_exchange_strong(expected, fresh.get(),
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
+    // The shadow is an allocation the column's owner never sees from its
+    // own call sites: credit it to the budget counter at the moment it
+    // becomes reachable. Only the CAS winner counts — losers discard their
+    // copy — and only creation needs a hook; every drop path (eviction,
+    // mutation, removal) is already bracketed by owner-side ResidentBytes()
+    // reads that include the shadow.
+    if (resident_counter_ != nullptr) {
+      resident_counter_->Add(fresh->ResidentBytes());
+    }
     return *fresh.release();
   }
   // Another thread installed an identical shadow first; use theirs.

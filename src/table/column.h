@@ -90,6 +90,33 @@ struct StorageOptions {
 /// validate.
 Status ValidateOptions(const StorageOptions& options);
 
+/// Shared running resident-bytes cell, owned by whoever accounts a set of
+/// columns against a RAM budget (TableCatalog). A column holding a
+/// reference reports allocations the owner cannot see from its own call
+/// sites — today that is exactly the lazily materialized lowercase shadow
+/// (LowercasedAscii), which the row matcher builds behind the catalog's
+/// back. shared_ptr so the cell outlives any move of the owning catalog
+/// while attached columns keep writing to the same counter.
+struct ResidentByteCounter {
+  std::atomic<size_t> bytes{0};
+
+  void Add(size_t delta) {
+    if (delta != 0) bytes.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Clamped at zero: concurrent double-counted re-maps can leave the
+  /// counter slightly above reality, so a subtraction may try to cross 0.
+  void Sub(size_t delta) {
+    if (delta == 0) return;
+    size_t current = bytes.load(std::memory_order_relaxed);
+    while (!bytes.compare_exchange_weak(
+        current, current > delta ? current - delta : 0,
+        std::memory_order_relaxed)) {
+    }
+  }
+  void Set(size_t value) { bytes.store(value, std::memory_order_relaxed); }
+  size_t value() const { return bytes.load(std::memory_order_relaxed); }
+};
+
 /// The byte store behind a Column's arena: one contiguous, grow-only
 /// buffer. Implementations: the heap arena (column.cc, default) and the
 /// mmap-backed spill arena (table/spill_arena.h).
@@ -276,6 +303,16 @@ class Column {
   /// matched once — the caller owns the copy and its lifetime.
   Column LowercasedAsciiCopy() const;
 
+  /// Hooks this column's owner-invisible allocations into a shared budget
+  /// counter: from here on, installing the lowercase shadow adds its
+  /// resident bytes to `counter` at creation time (drops need no hook —
+  /// every drop path is bracketed by the owner's own before/after
+  /// ResidentBytes() reads, which include the shadow). Carried by moves,
+  /// shed by copies (a copy is a detached mutable column).
+  void AttachResidentCounter(std::shared_ptr<ResidentByteCounter> counter) {
+    resident_counter_ = std::move(counter);
+  }
+
   /// Mean cell length in characters; 0 for an empty column. The row matcher
   /// uses this to pick the more descriptive column as the source (§4.2.1).
   double AverageLength() const;
@@ -346,6 +383,9 @@ class Column {
   bool frozen_ = false;
   /// Lazily built lowercase shadow (heap-owned; freed by dtor/mutation).
   mutable std::atomic<const Column*> lowered_{nullptr};
+  /// Budget counter to credit shadow allocations to (see
+  /// AttachResidentCounter); null for unaccounted columns.
+  std::shared_ptr<ResidentByteCounter> resident_counter_;
 };
 
 /// Creates a backend per `spill_dir`: a spill arena inside the directory

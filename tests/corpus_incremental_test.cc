@@ -240,6 +240,64 @@ TEST(IncrementalPruner, MaxCandidatesTruncationMatchesScratch) {
   ExpectShortlistsIdentical(catalog, snapshot, scratch, "max_candidates");
 }
 
+// max_candidates semantics: truncation is a display cap applied AFTER the
+// merged re-rank, and it is not pruning. So relative to an uncapped run
+// over the same state, the capped shortlist must be exactly the uncapped
+// head, and total/pruned accounting must be unchanged — for both the
+// incremental snapshot (whose merge re-ranks old and new survivors
+// together before resizing) and the batch scan.
+TEST(IncrementalPruner, TruncationIsAppliedAfterMergedRerankAndNotCounted) {
+  const SynthCorpus base = MakeCorpus("synth", 4, 2, 41);
+  TableCatalog catalog;
+  for (const Table& table : base.tables) {
+    ASSERT_TRUE(catalog.AddTable(table).ok());
+  }
+  catalog.ComputeSignatures();
+
+  PairPrunerOptions capped;
+  capped.max_candidates = 2;
+  PairPrunerOptions uncapped;  // same gates, no cap
+
+  IncrementalPairPruner pruner(capped);
+  pruner.Rebuild(catalog);
+
+  // Incremental adds: each merge must re-rank the union of survivors, not
+  // truncate per-add (a later table's stronger pair must displace an
+  // earlier resident of the capped head).
+  const SynthCorpus extra = MakeCorpus("inc", 2, 1, 43);
+  for (const Table& table : extra.tables) {
+    auto id = catalog.AddTable(table);
+    ASSERT_TRUE(id.ok());
+    catalog.ComputeSignatures();
+    pruner.OnTableAdded(catalog, *id);
+
+    const PairPrunerResult snapshot = pruner.Snapshot();
+    const PairPrunerResult full = ShortlistPairs(catalog, uncapped);
+    ASSERT_GT(full.shortlist.size(), capped.max_candidates)
+        << "corpus too small to exercise truncation";
+
+    // Truncation must not leak into the pruning stats.
+    EXPECT_EQ(snapshot.total_pairs, full.total_pairs);
+    EXPECT_EQ(snapshot.pruned_pairs, full.pruned_pairs);
+    EXPECT_EQ(snapshot.pruned_pairs,
+              snapshot.total_pairs - full.shortlist.size());
+
+    // The capped shortlist is exactly the uncapped head.
+    ASSERT_EQ(snapshot.shortlist.size(), capped.max_candidates);
+    for (size_t r = 0; r < snapshot.shortlist.size(); ++r) {
+      EXPECT_TRUE(snapshot.shortlist[r].a == full.shortlist[r].a);
+      EXPECT_TRUE(snapshot.shortlist[r].b == full.shortlist[r].b);
+      EXPECT_EQ(snapshot.shortlist[r].score, full.shortlist[r].score);
+    }
+
+    // And the batch scan agrees with itself under the same cap.
+    const PairPrunerResult batch = ShortlistPairs(catalog, capped);
+    EXPECT_EQ(batch.pruned_pairs, full.pruned_pairs);
+    ASSERT_EQ(batch.shortlist.size(), capped.max_candidates);
+    ExpectShortlistsIdentical(catalog, snapshot, batch, "capped batch");
+  }
+}
+
 TEST(IncrementalPruner, AddScoresOnlyTheNewTablesPairs) {
   const SynthCorpus base = MakeCorpus("synth", 4, 2, 37);
   TableCatalog catalog;

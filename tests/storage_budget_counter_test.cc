@@ -103,6 +103,52 @@ TEST_F(BudgetCounterTest, CounterMatchesExactScanAtQuiescePoints) {
   EXPECT_EQ(catalog.CachedResidentBytes(), catalog.ResidentCellBytes());
 }
 
+// Regression: lowercase shadow columns are allocated lazily inside const
+// accessors (Column::LowercasedAscii, built by the row matcher behind the
+// catalog's back), so no AddTable/Remove/Update bracket ever sees them.
+// They used to bypass the running counter entirely — the counter drifted
+// low by the shadow bytes while ResidentCellBytes() (and budget pressure)
+// included them. Shadows must be credited when created, and every drop
+// path must keep the counter exact without a resync.
+TEST_F(BudgetCounterTest, LowercaseShadowsAreCountedWithoutResync) {
+  TableCatalog catalog(SignatureOptions(), Budgeted(64 << 10));
+  const SynthCorpus corpus = Corpus(13);
+  for (const Table& table : corpus.tables) {
+    ASSERT_TRUE(catalog.AddTable(table).ok());
+  }
+  catalog.ComputeSignatures();
+  ASSERT_EQ(catalog.CachedResidentBytes(), catalog.ResidentCellBytes());
+  const size_t before_shadows = catalog.CachedResidentBytes();
+
+  // Build shadows the way the row matcher does: straight through the const
+  // column accessor, no catalog mutation, no resync anywhere after this.
+  for (uint32_t t = 0; t < catalog.num_slots(); ++t) {
+    if (!catalog.IsLive(t)) continue;
+    const Table& table = catalog.table(t);
+    for (uint32_t c = 0; c < table.num_columns(); ++c) {
+      (void)table.column(c).LowercasedAscii();
+    }
+  }
+  EXPECT_GT(catalog.ResidentCellBytes(), before_shadows)
+      << "shadows allocated no bytes; test is vacuous";
+  EXPECT_EQ(catalog.CachedResidentBytes(), catalog.ResidentCellBytes());
+
+  // Re-requesting existing shadows must not double-count.
+  (void)catalog.table(0).column(0).LowercasedAscii();
+  EXPECT_EQ(catalog.CachedResidentBytes(), catalog.ResidentCellBytes());
+
+  // Dropping a shadow-bearing table keeps the counter exact (the remove
+  // path subtracts owner-side ResidentBytes(), which includes the shadow —
+  // a creation-credited shadow must not be subtracted twice).
+  const std::string victim = catalog.table_name(0);
+  ASSERT_TRUE(catalog.RemoveTable(victim).ok());
+  EXPECT_EQ(catalog.CachedResidentBytes(), catalog.ResidentCellBytes());
+
+  // Eviction releases shadow pages along with the column's; still exact.
+  catalog.EnforceMemoryBudget();
+  EXPECT_EQ(catalog.CachedResidentBytes(), catalog.ResidentCellBytes());
+}
+
 TEST_F(BudgetCounterTest, EnforcementStillEvictsDownToBudget) {
   // A budget far below the corpus size: after ingest the resident bytes
   // must sit at or below it (modulo the single spared newest table).
