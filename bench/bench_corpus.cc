@@ -23,6 +23,8 @@
 #include "benchlib/report.h"
 #include "benchlib/storage_metrics.h"
 #include "common/hash.h"
+#include "common/perf_counters.h"
+#include "common/simd.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -509,6 +511,62 @@ ServeOutcome RunServed(const tj::SynthCorpus& corpus,
   return outcome;
 }
 
+/// The SIMD acceptance scenario: sketch every column of the heap corpus
+/// once with the kernels pinned to scalar and once at the best-supported
+/// level, timing each pass and proving the signatures bit-identical (the
+/// determinism contract — exit 1 on divergence). The side-by-side
+/// signature_build_ms fields are what the BENCH trajectory watches for
+/// vectorization wins and regressions.
+struct SignatureBuildOutcome {
+  double scalar_ms = 0.0;
+  double simd_ms = 0.0;
+  tj::PerfSample scalar_perf;
+  tj::PerfSample simd_perf;
+};
+
+SignatureBuildOutcome MeasureSignatureBuild(const tj::SynthCorpus& corpus,
+                                            tj::PerfCounterGroup* perf) {
+  using namespace tj;
+  SignatureBuildOutcome outcome;
+  const simd::SimdLevel best = simd::BestSupportedLevel();
+  std::vector<ColumnSignature> scalar_sigs;
+  std::vector<ColumnSignature> best_sigs;
+
+  const auto sketch = [&](simd::SimdLevel level, double* ms,
+                          PerfSample* sample,
+                          std::vector<ColumnSignature>* sigs) {
+    simd::SetActiveLevel(level);
+    TableCatalog catalog;
+    for (const Table& table : corpus.tables) {
+      auto added = catalog.AddTable(table);
+      if (!added.ok()) {
+        std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    const PerfSample begin = perf->Read();
+    Stopwatch watch;
+    catalog.ComputeSignatures();
+    *ms = watch.ElapsedSeconds() * 1e3;
+    *sample = perf->Read().Since(begin);
+    for (const ColumnRef ref : catalog.AllColumns()) {
+      sigs->push_back(catalog.signature(ref));
+    }
+  };
+  sketch(simd::SimdLevel::kScalar, &outcome.scalar_ms, &outcome.scalar_perf,
+         &scalar_sigs);
+  sketch(best, &outcome.simd_ms, &outcome.simd_perf, &best_sigs);
+  simd::SetActiveLevel(best);  // leave dispatch at the default for the rest
+
+  if (scalar_sigs != best_sigs) {
+    std::fprintf(stderr,
+                 "signatures DIVERGE between scalar and %s kernels (BUG)\n",
+                 simd::SimdLevelName(best));
+    std::exit(1);
+  }
+  return outcome;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -523,6 +581,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Open the counter trio before anything spawns a thread: events are
+  // inherited by threads created afterwards, so every phase's pool workers
+  // are counted. Degrades silently (zeros + available=false) where the
+  // syscall is blocked.
+  PerfCounterGroup perf;
+  perf.Open();
 
   const char* scale_env = std::getenv("TJ_BENCH_SCALE");
   const double scale = scale_env != nullptr ? std::atof(scale_env) : 1.0;
@@ -551,16 +616,34 @@ int main(int argc, char** argv) {
   // Out-of-core FIRST — before the heap corpus even exists: peak RSS is a
   // process-wide high-water mark, so the spilled phase's sample is only
   // meaningful while no in-memory copy of the corpus has been faulted.
+  const PerfSample spill_begin = perf.Read();
   const SpillOutcome spilled = RunSpilled(corpus_options, pruned_options);
+  const PerfSample spill_perf = perf.Read().Since(spill_begin);
 
   const SynthCorpus corpus = GenerateSynthCorpus(corpus_options);
   std::printf("corpus: %zu tables (%zu joinable pairs), %zu rows each, "
-              "threads=%d\n",
+              "threads=%d, simd=%s, perf counters %s\n",
               corpus.tables.size(), corpus.golden.size(),
-              corpus_options.rows, ResolveNumThreads(num_threads));
+              corpus_options.rows, ResolveNumThreads(num_threads),
+              simd::SimdLevelName(simd::ActiveLevel()),
+              perf.available() ? "on" : "unavailable");
 
+  // Scalar-vs-best sketch pass (proves bit-identity, reports both times).
+  const SignatureBuildOutcome sig_build =
+      MeasureSignatureBuild(corpus, &perf);
+  std::printf(
+      "signature build: scalar %.2f ms, %s %.2f ms (%.2fx), outputs "
+      "identical\n",
+      sig_build.scalar_ms, simd::SimdLevelName(simd::BestSupportedLevel()),
+      sig_build.simd_ms,
+      sig_build.simd_ms > 0 ? sig_build.scalar_ms / sig_build.simd_ms : 0.0);
+
+  const PerfSample pruned_begin = perf.Read();
   const RunOutcome pruned = Run(corpus, pruned_options);
+  const PerfSample pruned_perf = perf.Read().Since(pruned_begin);
+  const PerfSample brute_begin = perf.Read();
   const RunOutcome brute = Run(corpus, brute_options);
+  const PerfSample brute_perf = perf.Read().Since(brute_begin);
   const bool spill_identical =
       SameDiscoveryResults(spilled.result, pruned.result);
   std::printf(
@@ -652,7 +735,9 @@ int main(int argc, char** argv) {
 
   // Million-table scale: LSH-banded probes vs the linear-scan incremental
   // build on a 10k-table corpus (scaled by TJ_BENCH_SCALE, floor 200).
+  const PerfSample lsh_begin = perf.Read();
   const LshScaleOutcome lsh = RunLshScale(scale, num_threads);
+  const PerfSample lsh_perf = perf.Read().Since(lsh_begin);
   std::printf(
       "\nlsh scale (%zu tables): probes scored %zu of %zu linear-scan "
       "pairs (%.3fx), one full-size add scored %zu of %zu (%.3fx), "
@@ -669,12 +754,38 @@ int main(int argc, char** argv) {
       FormatSeconds(lsh.ingest_seconds).c_str(),
       FormatSeconds(lsh.fullscan_seconds).c_str());
 
+  const PerfSample serve_begin = perf.Read();
   const ServeOutcome served = RunServed(corpus, pruned_options);
+  const PerfSample serve_perf = perf.Read().Since(serve_begin);
   std::printf(
       "\nserved queries (tjd protocol, %zu queries): p50 %.0f us, p99 %.0f "
       "us, %.0f queries/s; mutation->fresh snapshot %.1f ms\n",
       served.queries, served.query_p50_us, served.query_p99_us,
       served.queries_per_second, served.snapshot_rebuild_ms);
+
+  if (perf.available()) {
+    TablePrinter perf_printer(
+        {"phase", "cycles", "instructions", "ipc", "cache misses"});
+    const auto add_perf_row = [&](const char* phase, const PerfSample& s) {
+      perf_printer.AddRow({phase, StrPrintf("%llu",
+                                            (unsigned long long)s.cycles),
+                           StrPrintf("%llu",
+                                     (unsigned long long)s.instructions),
+                           FormatDouble(s.Ipc(), 2),
+                           StrPrintf("%llu",
+                                     (unsigned long long)s.cache_misses)});
+    };
+    add_perf_row("signature build (scalar)", sig_build.scalar_perf);
+    add_perf_row("signature build (best)", sig_build.simd_perf);
+    add_perf_row("out-of-core discovery", spill_perf);
+    add_perf_row("sketch-pruned discovery", pruned_perf);
+    add_perf_row("brute-force discovery", brute_perf);
+    add_perf_row("lsh scale ingest", lsh_perf);
+    add_perf_row("served queries", serve_perf);
+    std::printf("\nhardware counters per phase (simd_level=%s):\n",
+                simd::SimdLevelName(simd::ActiveLevel()));
+    perf_printer.Print();
+  }
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -738,6 +849,23 @@ int main(int argc, char** argv) {
                  "  \"queries_per_second\": %.3f,\n",
                  served.query_p50_us, served.query_p99_us,
                  served.snapshot_rebuild_ms, served.queries_per_second);
+    std::fprintf(f,
+                 "  \"simd_level\": \"%s\",\n"
+                 "  \"simd_best_level\": \"%s\",\n"
+                 "  \"perf_counters_available\": %s,\n"
+                 "  \"signature_build_ms_scalar\": %.3f,\n"
+                 "  \"signature_build_ms_simd\": %.3f,\n",
+                 simd::SimdLevelName(simd::ActiveLevel()),
+                 simd::SimdLevelName(simd::BestSupportedLevel()),
+                 perf.available() ? "true" : "false", sig_build.scalar_ms,
+                 sig_build.simd_ms);
+    WritePerfPhaseJson(f, "signature_build_scalar", sig_build.scalar_perf);
+    WritePerfPhaseJson(f, "signature_build_simd", sig_build.simd_perf);
+    WritePerfPhaseJson(f, "spill", spill_perf);
+    WritePerfPhaseJson(f, "pruned", pruned_perf);
+    WritePerfPhaseJson(f, "bruteforce", brute_perf);
+    WritePerfPhaseJson(f, "lsh", lsh_perf);
+    WritePerfPhaseJson(f, "serve", serve_perf);
     std::fprintf(f,
                  "  \"lsh_scale_tables\": %zu,\n"
                  "  \"lsh_probe_pairs\": %zu,\n"

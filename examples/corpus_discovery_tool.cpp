@@ -46,6 +46,7 @@
 
 #include "benchlib/report.h"
 #include "common/failpoint.h"
+#include "common/simd.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "corpus/catalog.h"
@@ -73,6 +74,9 @@ int Usage(const char* argv0) {
       "       %s --client SOCKET JSON...\n"
       "       %s --gen <dir> [--tables N] [--rows N] [--seed S]\n"
       "       %s --selftest\n"
+      "  --simd scalar|avx2|auto: pin the kernel dispatch level (any mode;\n"
+      "      'auto' = best the CPU supports; kernels are bit-identical\n"
+      "      across levels, so this only changes speed)\n"
       "  --threads N: pair-level worker threads (0 = all cores, default)\n"
       "  --min-containment F: sketch containment pruning floor "
       "(default 0.05; 0 = brute force)\n"
@@ -443,6 +447,26 @@ int RunDaemon(tj::TableCatalog* catalog, tj::serve::ServeOptions options,
 
 int main(int argc, char** argv) {
   using namespace tj;
+
+  // --simd applies in every mode (discovery, serve, gen, selftest), so it
+  // is stripped from argv before the per-mode parsers run.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--simd") != 0) continue;
+    simd::SimdLevel level;
+    if (i + 1 >= argc || !simd::ParseSimdLevel(argv[i + 1], &level)) {
+      std::fprintf(stderr, "--simd wants scalar|avx2|auto\n");
+      return 2;
+    }
+    const simd::SimdLevel installed = simd::SetActiveLevel(level);
+    if (installed != level) {
+      std::fprintf(stderr, "note: --simd %s unsupported here; using %s\n",
+                   argv[i + 1], simd::SimdLevelName(installed));
+    }
+    for (int j = i + 2; j < argc; ++j) argv[j - 2] = argv[j];
+    argc -= 2;
+    --i;
+  }
+
   if (argc < 2) return Usage(argv[0]);
 
   if (std::strcmp(argv[1], "--selftest") == 0) return SelfTest();

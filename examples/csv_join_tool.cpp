@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/failpoint.h"
+#include "common/simd.h"
 #include "common/strings.h"
 #include "core/serialization.h"
 #include "corpus/lsh_index.h"
@@ -35,7 +36,11 @@ int Usage(const char* argv0) {
                "          [--support F] [--sample N] [--threads N] "
                "[--rules out.tj] [--out out.csv] [--golden pairs.csv]\n"
                "          [--spill-dir DIR] [--memory-budget BYTES]\n"
-               "          [--precheck] [--failpoints SPEC]\n"
+               "          [--precheck] [--simd scalar|avx2|auto]\n"
+               "          [--failpoints SPEC]\n"
+               "       --simd: pin the kernel dispatch level ('auto' = best "
+               "the CPU supports; kernels are bit-identical across levels, "
+               "so this only changes speed)\n"
                "       --precheck: sketch both join columns and report the "
                "estimated n-gram containment plus whether their banded "
                "MinHash sketches collide (what the corpus LSH probe would "
@@ -85,6 +90,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "invalid --memory-budget value '%s'\n",
                      argv[i]);
         return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc) {
+      simd::SimdLevel level;
+      if (!simd::ParseSimdLevel(argv[++i], &level)) {
+        std::fprintf(stderr, "--simd wants scalar|avx2|auto\n");
+        return Usage(argv[0]);
+      }
+      const simd::SimdLevel installed = simd::SetActiveLevel(level);
+      if (installed != level) {
+        std::fprintf(stderr, "note: --simd %s unsupported here; using %s\n",
+                     argv[i], simd::SimdLevelName(installed));
       }
     } else if (std::strcmp(argv[i], "--sample") == 0 && i + 1 < argc) {
       sample = static_cast<size_t>(std::atol(argv[++i]));

@@ -28,13 +28,19 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
                        (seed >> 2)));
 }
 
+/// FNV-1a parameters, exposed so hot loops that inline the byte hash over
+/// a contiguous arena (ComputeColumnSignature's gram scan) provably use
+/// the same recurrence as HashBytes — the simd test suite pins them equal.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
 /// FNV-1a over raw bytes, finalized with Mix64.
 inline uint64_t HashBytes(const void* data, size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
-  uint64_t h = 0xcbf29ce484222325ULL;
+  uint64_t h = kFnvOffsetBasis;
   for (size_t i = 0; i < n; ++i) {
     h ^= p[i];
-    h *= 0x100000001b3ULL;
+    h *= kFnvPrime;
   }
   return Mix64(h);
 }

@@ -1,0 +1,119 @@
+#include "common/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace tj {
+
+PerfSample PerfSample::Since(const PerfSample& begin) const {
+  PerfSample delta;
+  delta.available = available && begin.available;
+  delta.cycles = cycles > begin.cycles ? cycles - begin.cycles : 0;
+  delta.instructions = instructions > begin.instructions
+                           ? instructions - begin.instructions
+                           : 0;
+  delta.cache_misses = cache_misses > begin.cache_misses
+                           ? cache_misses - begin.cache_misses
+                           : 0;
+  return delta;
+}
+
+void WritePerfPhaseJson(std::FILE* f, const char* phase,
+                        const PerfSample& sample) {
+  std::fprintf(f,
+               "  \"%s_cycles\": %llu,\n"
+               "  \"%s_instructions\": %llu,\n"
+               "  \"%s_ipc\": %.4f,\n"
+               "  \"%s_cache_misses\": %llu,\n",
+               phase, static_cast<unsigned long long>(sample.cycles), phase,
+               static_cast<unsigned long long>(sample.instructions), phase,
+               sample.Ipc(), phase,
+               static_cast<unsigned long long>(sample.cache_misses));
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int OpenHardwareCounter(uint64_t config) {
+  struct perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // user-space work only; also needs no privilege
+  attr.exclude_hv = 1;
+  // Threads spawned after the open inherit the counter, so a phase that
+  // spins up a ThreadPool is charged for its workers' retired work too.
+  // (inherit rules out PERF_FORMAT_GROUP reads, hence one fd per event.)
+  attr.inherit = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = ::syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                            /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL);
+  return static_cast<int>(fd);
+}
+
+/// Reads one event fd, scaling for multiplexing (time_running <
+/// time_enabled when the PMU rotated the event out). Returns 0 on any
+/// read failure.
+uint64_t ReadScaled(int fd) {
+  if (fd < 0) return 0;
+  uint64_t buf[3] = {0, 0, 0};  // value, time_enabled, time_running
+  const ssize_t n = ::read(fd, buf, sizeof(buf));
+  if (n != static_cast<ssize_t>(sizeof(buf))) return 0;
+  if (buf[2] > 0 && buf[2] < buf[1]) {
+    const double scale =
+        static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+    return static_cast<uint64_t>(static_cast<double>(buf[0]) * scale);
+  }
+  return buf[0];
+}
+
+}  // namespace
+
+bool PerfCounterGroup::Open() {
+  if (available()) return true;
+  fds_[0] = OpenHardwareCounter(PERF_COUNT_HW_CPU_CYCLES);
+  if (fds_[0] < 0) return false;  // syscall unavailable: stay degraded
+  fds_[1] = OpenHardwareCounter(PERF_COUNT_HW_INSTRUCTIONS);
+  fds_[2] = OpenHardwareCounter(PERF_COUNT_HW_CACHE_MISSES);
+  return true;
+}
+
+PerfSample PerfCounterGroup::Read() const {
+  PerfSample sample;
+  if (!available()) return sample;
+  sample.available = true;
+  sample.cycles = ReadScaled(fds_[0]);
+  sample.instructions = ReadScaled(fds_[1]);
+  sample.cache_misses = ReadScaled(fds_[2]);
+  return sample;
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+#else  // !__linux__
+
+bool PerfCounterGroup::Open() { return false; }
+
+PerfSample PerfCounterGroup::Read() const { return PerfSample(); }
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+#endif  // __linux__
+
+}  // namespace tj

@@ -1,0 +1,89 @@
+// Hardware performance counters for the bench phase timers.
+//
+// Wall time alone cannot tell a SIMD win from a cache accident, so the
+// benches pair every phase stopwatch with a perf_event_open group —
+// cycles, instructions, cache-misses — and emit per-phase
+// *_cycles/*_instructions/*_ipc next to the *_seconds fields in their
+// --json records (BENCH_* trajectories then catch both wins and
+// regressions in retired work, not just elapsed time).
+//
+// The syscall is unavailable in many environments (unprivileged
+// containers, kernel.perf_event_paranoid >= 3, seccomp). The group then
+// silently degrades: available() turns false, every read returns zeros,
+// and the JSON records carry a perf_counters_available flag so a
+// trajectory never confuses "no counters" with "zero cost".
+//
+// Threading: the three events are opened on the calling thread with
+// inherit=1, so threads spawned AFTER the group is opened (thread pools
+// created inside a phase) are counted too. Open the group before any
+// long-lived pool exists — in practice, first thing in main().
+
+#ifndef TJ_COMMON_PERF_COUNTERS_H_
+#define TJ_COMMON_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <cstdio>
+
+namespace tj {
+
+/// One reading of the counter group (cumulative since Open).
+struct PerfSample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  bool available = false;
+
+  /// Instructions per cycle; 0 when unavailable or no cycles elapsed.
+  double Ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+
+  /// Per-phase delta (this - begin), clamped at zero per counter.
+  PerfSample Since(const PerfSample& begin) const;
+};
+
+/// A perf_event_open event trio: cycles, instructions, cache-misses.
+/// Counting starts at Open() and never stops; phases are measured as
+/// deltas between Read() calls. Degrades to unavailable (zero samples)
+/// wherever the syscall or the PMU is not usable.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() = default;
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// Opens the three events on the calling thread (inherit=1: threads
+  /// spawned afterwards are counted). Safe to call once; returns
+  /// available().
+  bool Open();
+
+  /// True when at least the cycles event opened and reads succeed.
+  bool available() const { return fds_[0] >= 0; }
+
+  /// Current cumulative counts. Zeros (available=false) when degraded.
+  PerfSample Read() const;
+
+ private:
+  // One fd per event — independent events, not a PERF_FORMAT_GROUP, because
+  // group reads do not compose with inherit (the kernel rejects them), and
+  // inherited counting across pool threads is the property the benches
+  // actually need. The non-atomicity across the three reads is noise far
+  // below phase granularity.
+  int fds_[3] = {-1, -1, -1};
+};
+
+/// Emits one phase's counter delta as four JSON fields — <phase>_cycles,
+/// _instructions, _ipc, _cache_misses — each line ending with ",\n" so the
+/// caller can interleave it anywhere in an open JSON object. Zeros when the
+/// sample is degraded (the record's perf_counters_available flag
+/// disambiguates).
+void WritePerfPhaseJson(std::FILE* f, const char* phase,
+                        const PerfSample& sample);
+
+}  // namespace tj
+
+#endif  // TJ_COMMON_PERF_COUNTERS_H_

@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/simd.h"
+
 namespace tj {
 
 std::string ToLowerAscii(std::string_view s) {
@@ -13,15 +15,15 @@ std::string ToLowerAscii(std::string_view s) {
 }
 
 void ToLowerAsciiInPlace(char* data, size_t size) {
-  for (size_t i = 0; i < size; ++i) data[i] = ToLowerAsciiChar(data[i]);
+  simd::LowerAscii(data, data, size);
 }
 
 void AppendLowerAscii(std::string_view s, std::string* out) {
   const size_t base = out->size();
   out->resize(base + s.size());
-  for (size_t i = 0; i < s.size(); ++i) {
-    (*out)[base + i] = ToLowerAsciiChar(s[i]);
-  }
+  // One fused lowercase-copy pass (vectorized under dispatch) instead of
+  // copy-then-lower.
+  simd::LowerAscii(s.data(), out->data() + base, s.size());
 }
 
 std::string_view TrimAscii(std::string_view s) {

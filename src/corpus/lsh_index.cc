@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "common/simd.h"
 
 namespace tj {
 namespace {
@@ -97,6 +98,13 @@ bool LshIndex::BandsCollide(const LshOptions& options,
   if (a.minhash.size() != b.minhash.size()) return false;
   const size_t usable =
       std::min(options.bands, a.minhash.size() / options.rows_per_band);
+  if (options.rows_per_band == 1) {
+    // One-slot bands (the default, lossless geometry): a band collides iff
+    // its slot matches and is non-empty, so the scan is exactly "any equal
+    // non-empty slot in the first `usable`" — one vectorized compare pass.
+    return simd::CountEqualExcludingU64(a.minhash.data(), b.minhash.data(),
+                                        usable, kEmptyMinhashSlot) > 0;
+  }
   for (size_t band = 0; band < usable; ++band) {
     bool match = true;
     bool all_empty = true;

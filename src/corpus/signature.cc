@@ -4,23 +4,20 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/simd.h"
 #include "common/strings.h"
-#include "text/char_class.h"
-#include "text/ngram.h"
 
 namespace tj {
-namespace {
 
-uint32_t CharsetBitOf(char c) {
-  if (c >= 'a' && c <= 'z') return kCharsetLower;
-  if (c >= 'A' && c <= 'Z') return kCharsetUpper;
-  if (IsDigitChar(c)) return kCharsetDigit;
-  if (IsSpaceChar(c)) return kCharsetSpace;
-  if (IsPunctChar(c)) return kCharsetPunct;
-  return kCharsetOther;
-}
-
-}  // namespace
+// The charset kernel in common/simd.h classifies bytes into its own bit
+// constants (common/ cannot include corpus/); pin the two enums together
+// so sig.charset_mask can take the kernel's output verbatim.
+static_assert(kCharsetLower == simd::kCharsetLowerBit);
+static_assert(kCharsetUpper == simd::kCharsetUpperBit);
+static_assert(kCharsetDigit == simd::kCharsetDigitBit);
+static_assert(kCharsetSpace == simd::kCharsetSpaceBit);
+static_assert(kCharsetPunct == simd::kCharsetPunctBit);
+static_assert(kCharsetOther == simd::kCharsetOtherBit);
 
 bool ColumnSignature::operator==(const ColumnSignature& other) const {
   return num_rows == other.num_rows &&
@@ -63,16 +60,27 @@ ColumnSignature ComputeColumnSignature(const Column& column,
     total_length += length;
     sig.min_length = std::min(sig.min_length, length);
     sig.max_length = std::max(sig.max_length, length);
-    for (char c : text) sig.charset_mask |= CharsetBitOf(c);
+    sig.charset_mask |= simd::CharsetMask(text.data(), text.size());
 
-    ForEachNgram(text, options.ngram, [&](std::string_view gram) {
-      const uint64_t base = HashString(gram);
-      if (!distinct.insert(base).second) return;  // gram already sketched
-      for (size_t i = 0; i < slot_seeds.size(); ++i) {
-        const uint64_t h = Mix64(base ^ slot_seeds[i]);
-        if (h < sig.minhash[i]) sig.minhash[i] = h;
+    // Gram hashing inlined over the contiguous cell bytes: the same FNV-1a
+    // + Mix64 recurrence as HashString(gram) (pinned by the simd suite),
+    // without a per-gram substr + hash call through ForEachNgram. The
+    // 128-slot sketch update runs through the dispatched MinHash kernel.
+    const size_t gram = options.ngram;
+    if (gram > 0 && gram <= text.size()) {
+      const char* data = text.data();
+      for (size_t i = 0; i + gram <= text.size(); ++i) {
+        uint64_t h = kFnvOffsetBasis;
+        for (size_t j = 0; j < gram; ++j) {
+          h ^= static_cast<unsigned char>(data[i + j]);
+          h *= kFnvPrime;
+        }
+        const uint64_t base = Mix64(h);
+        if (!distinct.insert(base).second) continue;  // already sketched
+        simd::MinhashUpdate(base, slot_seeds.data(), sig.minhash.data(),
+                            slot_seeds.size());
       }
-    });
+    }
   });
   sig.distinct_ngrams = distinct.size();
   if (!column.empty()) {
@@ -85,10 +93,9 @@ ColumnSignature ComputeColumnSignature(const Column& column,
 double EstimateJaccard(const ColumnSignature& a, const ColumnSignature& b) {
   if (!a.ComparableWith(b) || a.minhash.empty()) return 0.0;
   if (a.distinct_ngrams == 0 || b.distinct_ngrams == 0) return 0.0;
-  size_t matches = 0;
-  for (size_t i = 0; i < a.minhash.size(); ++i) {
-    if (a.minhash[i] == b.minhash[i]) ++matches;
-  }
+  const size_t matches = simd::CountEqualU64(a.minhash.data(),
+                                             b.minhash.data(),
+                                             a.minhash.size());
   return static_cast<double>(matches) / static_cast<double>(a.minhash.size());
 }
 

@@ -5,7 +5,6 @@
 #include <span>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -169,7 +168,13 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
   // the pair), rows never scanned after exhaustion are not counted as
   // unmatched.
   std::vector<uint32_t> occurrences;
-  std::unordered_set<uint32_t> seen_targets;
+  // Per-row dedup through a row-stamped flat table instead of a hashed
+  // set: one uint32 slot per target row, "cleared" by the advancing stamp,
+  // so the merge's inner loop does no hashing, no allocation, and no
+  // per-row clear. Stamps are row+1 so row 0 differs from the
+  // zero-initialized slots. Emission order (and where a max_pairs budget
+  // cuts it) is unchanged.
+  std::vector<uint32_t> seen_stamp(scan_target->size(), 0);
   bool budget_exhausted = false;
   for (uint32_t row = 0; row < source.size() && !budget_exhausted; ++row) {
     const std::vector<uint32_t>* row_occurrences;
@@ -182,14 +187,15 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
       row_occurrences = &occurrences;
     }
     bool any = false;
-    seen_targets.clear();
+    const uint32_t stamp = row + 1;
     for (uint32_t target_row : *row_occurrences) {
       if (options.max_pairs != 0 &&
           result.pairs.size() >= options.max_pairs) {
         budget_exhausted = true;
         break;
       }
-      if (seen_targets.insert(target_row).second) {
+      if (seen_stamp[target_row] != stamp) {
+        seen_stamp[target_row] = stamp;
         result.pairs.push_back(RowPair{row, target_row});
         any = true;
       }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/simd.h"
 #include "common/strings.h"
 #include "table/spill_arena.h"
 #include "table/storage_events.h"
@@ -406,8 +407,9 @@ Column Column::LowercasedAsciiCopy() const {
       lowered.arena_ = std::make_unique<HeapArena>();
       (void)lowered.arena_->Resize(arena_->size());
     }
-    std::memcpy(lowered.arena_->data(), arena_->data(), arena_->size());
-    ToLowerAsciiInPlace(lowered.arena_->data(), lowered.arena_->size());
+    // Fused lowercase-copy: one pass over the arena (SIMD under dispatch)
+    // instead of memcpy followed by an in-place lowering pass.
+    simd::LowerAscii(arena_->data(), lowered.arena_->data(), arena_->size());
   }
   lowered.SyncBase();
   lowered.frozen_ = true;
