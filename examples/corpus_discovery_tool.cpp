@@ -53,6 +53,7 @@
 #include "corpus/corpus_discovery.h"
 #include "corpus/pair_pruner.h"
 #include "datagen/corpus.h"
+#include "index/index_cache.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "table/csv.h"
@@ -67,6 +68,7 @@ int Usage(const char* argv0) {
       "          [--max-candidates N] [--support F] [--top K]\n"
       "          [--signatures cache.tj] [--out results.csv]\n"
       "          [--spill-dir DIR] [--memory-budget BYTES]\n"
+      "          [--index-cache-budget BYTES]\n"
       "          [--lsh] [--lsh-bands N] [--lsh-rows N]\n"
       "          [--failpoints SPEC]\n"
       "          [--add FILE]... [--remove NAME]... [--update FILE]...\n"
@@ -87,6 +89,10 @@ int Usage(const char* argv0) {
       "  --memory-budget BYTES: resident cell-byte budget (k/m/g suffixes\n"
       "      ok); cold tables are evicted to their spill files and\n"
       "      re-mapped on access. Requires --spill-dir\n"
+      "  --index-cache-budget BYTES: byte budget for the per-column\n"
+      "      inverted-index cache shared across pair evaluations (default\n"
+      "      256m, 0 = unlimited); in serve mode, each snapshot's\n"
+      "      per-epoch cache budget\n"
       "  --add F / --remove NAME / --update F: incremental catalog\n"
       "      maintenance; only the touched table's pairs are rescored\n"
       "  --lsh: band the MinHash sketches into bucket keys so incremental\n"
@@ -502,6 +508,7 @@ int main(int argc, char** argv) {
   std::string serve_socket;
   std::string watch_dir;
   StorageOptions storage;
+  size_t index_cache_budget = serve::kDefaultIndexCacheBudgetBytes;
   std::vector<MaintenanceOp> ops;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -516,6 +523,13 @@ int main(int argc, char** argv) {
                i + 1 < argc) {
       if (!ParseByteSize(argv[++i], &storage.memory_budget_bytes)) {
         std::fprintf(stderr, "invalid --memory-budget value '%s'\n",
+                     argv[i]);
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--index-cache-budget") == 0 &&
+               i + 1 < argc) {
+      if (!ParseByteSize(argv[++i], &index_cache_budget)) {
+        std::fprintf(stderr, "invalid --index-cache-budget value '%s'\n",
                      argv[i]);
         return Usage(argv[0]);
       }
@@ -654,9 +668,15 @@ int main(int argc, char** argv) {
     serve_options.socket_path = serve_socket;
     serve_options.watch_dir = watch_dir;
     serve_options.discovery = options;
+    serve_options.index_cache_budget_bytes = index_cache_budget;
     return RunDaemon(&catalog, std::move(serve_options),
                      options.num_threads);
   }
+
+  // One cache spans the whole invocation: the batch run's pre-warm, or —
+  // in the incremental flow — every post-maintenance shortlist evaluation.
+  IndexCache index_cache(index_cache_budget);
+  options.index_cache = &index_cache;
 
   CorpusDiscoveryResult result;
   if (ops.empty()) {
@@ -739,6 +759,13 @@ int main(int argc, char** argv) {
   std::printf("column pairs: %zu total, %zu pruned (%.1f%%), %zu evaluated\n",
               result.total_column_pairs, result.pruned_pairs,
               100.0 * result.PruningRatio(), result.results.size());
+  const IndexCacheStats cache_stats = index_cache.GetStats();
+  std::printf("index cache: %llu hits, %llu misses, %llu evictions, "
+              "%llu bytes\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              static_cast<unsigned long long>(cache_stats.evictions),
+              static_cast<unsigned long long>(cache_stats.bytes));
   TablePrinter printer({"rank", "source", "target", "score", "pairs",
                         "joined", "coverage", "best transformation"});
   const size_t n = std::min(top, result.results.size());

@@ -21,8 +21,10 @@
 #include "common/simd.h"
 #include "common/strings.h"
 #include "core/serialization.h"
+#include "corpus/catalog.h"
 #include "corpus/lsh_index.h"
 #include "corpus/signature.h"
+#include "index/index_cache.h"
 #include "join/join_engine.h"
 #include "table/csv.h"
 #include "table/spill_arena.h"
@@ -36,6 +38,7 @@ int Usage(const char* argv0) {
                "          [--support F] [--sample N] [--threads N] "
                "[--rules out.tj] [--out out.csv] [--golden pairs.csv]\n"
                "          [--spill-dir DIR] [--memory-budget BYTES]\n"
+               "          [--index-cache-budget BYTES]\n"
                "          [--precheck] [--simd scalar|avx2|auto]\n"
                "          [--failpoints SPEC]\n"
                "       --simd: pin the kernel dispatch level ('auto' = best "
@@ -52,6 +55,10 @@ int Usage(const char* argv0) {
                "       --memory-budget BYTES: with --spill-dir, release "
                "resident pages after ingest so matching faults cells "
                "in on demand (k/m/g suffixes ok)\n"
+               "       --index-cache-budget BYTES: byte budget for the "
+               "fingerprint-keyed inverted-index cache (0 = unlimited; "
+               "one-shot joins build each index once either way — the flag "
+               "mirrors corpus_discovery_tool for scripted reuse)\n"
                "       --failpoints SPEC: arm fault-injection sites, e.g. "
                "'mmap/sync=p:0.5,errno:EIO' "
                "(requires a -DTJ_FAILPOINTS=ON build)\n",
@@ -77,6 +84,8 @@ int main(int argc, char** argv) {
   std::string golden_path;
   bool precheck = false;
   StorageOptions storage;
+  size_t index_cache_budget = 0;
+  bool index_cache_requested = false;
   for (int i = 5; i < argc; ++i) {
     if (std::strcmp(argv[i], "--support") == 0 && i + 1 < argc) {
       support = std::atof(argv[++i]);
@@ -91,6 +100,14 @@ int main(int argc, char** argv) {
                      argv[i]);
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--index-cache-budget") == 0 &&
+               i + 1 < argc) {
+      if (!ParseByteSize(argv[++i], &index_cache_budget)) {
+        std::fprintf(stderr, "invalid --index-cache-budget value '%s'\n",
+                     argv[i]);
+        return Usage(argv[0]);
+      }
+      index_cache_requested = true;
     } else if (std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc) {
       simd::SimdLevel level;
       if (!simd::ParseSimdLevel(argv[++i], &level)) {
@@ -236,6 +253,18 @@ int main(int argc, char** argv) {
   options.sample_pairs = sample;
   options.discovery.num_threads = threads;
   options.match_options.num_threads = threads;
+  IndexCache index_cache(index_cache_budget);
+  if (index_cache_requested) {
+    options.match_options.index_cache = &index_cache;
+    options.match_options.source_cache_key.fingerprint =
+        TableFingerprint(pair.source);
+    options.match_options.source_cache_key.column =
+        static_cast<uint32_t>(pair.source_join_column);
+    options.match_options.target_cache_key.fingerprint =
+        TableFingerprint(pair.target);
+    options.match_options.target_cache_key.column =
+        static_cast<uint32_t>(pair.target_join_column);
+  }
   const JoinResult result = TransformJoin(pair, options);
 
   std::printf("learning pairs: %zu, discovery: %.2fs\n",

@@ -27,6 +27,9 @@ PerfSample PerfSample::Since(const PerfSample& begin) const {
 
 void WritePerfPhaseJson(std::FILE* f, const char* phase,
                         const PerfSample& sample) {
+  // Degraded counters: omit the fields instead of emitting zeros — an
+  // absent field cannot be mistaken for a measured 0 by trend tooling.
+  if (!sample.available) return;
   std::fprintf(f,
                "  \"%s_cycles\": %llu,\n"
                "  \"%s_instructions\": %llu,\n"

@@ -78,9 +78,11 @@ class PerfCounterGroup {
 
 /// Emits one phase's counter delta as four JSON fields — <phase>_cycles,
 /// _instructions, _ipc, _cache_misses — each line ending with ",\n" so the
-/// caller can interleave it anywhere in an open JSON object. Zeros when the
-/// sample is degraded (the record's perf_counters_available flag
-/// disambiguates).
+/// caller can interleave it anywhere in an open JSON object. A degraded
+/// sample (perf_event_open blocked — available == false) emits NOTHING:
+/// all-zero counter fields would chart as data in trend tooling, while an
+/// absent field is unambiguous (the record's perf_counters_available flag
+/// says why).
 void WritePerfPhaseJson(std::FILE* f, const char* phase,
                         const PerfSample& sample);
 

@@ -24,8 +24,10 @@ class RowUnitCache {
   /// recomputes from scratch and no negative knowledge is retained.
   RowUnitCache(size_t num_units, bool use_memo) : use_memo_(use_memo) {
     if (use_memo_) {
-      epoch_.assign(num_units, 0);
-      state_.resize(num_units);
+      // Epoch and state share one word (epoch << 2 | state): the pruning
+      // scan that touches every transformation's units per row then costs
+      // one 4-byte load per unit instead of two scattered ones.
+      packed_.assign(num_units, 0);
       output_.resize(num_units);
     }
   }
@@ -40,8 +42,10 @@ class RowUnitCache {
   void BeginRow() { ++current_epoch_; }
 
   State state(UnitId id) const {
-    if (!use_memo_ || epoch_[id] != current_epoch_) return kUnknown;
-    return static_cast<State>(state_[id]);
+    if (!use_memo_) return kUnknown;
+    const uint32_t packed = packed_[id];
+    if ((packed >> 2) != current_epoch_) return kUnknown;
+    return static_cast<State>(packed & 3u);
   }
 
   /// Evaluates (or recalls) the unit on this row. Returns kOk/kBad and, for
@@ -60,60 +64,89 @@ class RowUnitCache {
       *out = *produced;
       return kOk;
     }
-    if (epoch_[id] != current_epoch_) {
-      epoch_[id] = current_epoch_;
+    if ((packed_[id] >> 2) != current_epoch_) {
       ++*unit_evals;
       const auto produced = unit.Eval(source);
       if (!produced.has_value() ||
           (!produced->empty() &&
            target.find(*produced) == std::string_view::npos)) {
-        state_[id] = kBad;
+        packed_[id] = (current_epoch_ << 2) | kBad;
       } else {
-        state_[id] = kOk;
+        packed_[id] = (current_epoch_ << 2) | kOk;
         output_[id] = *produced;
       }
     }
-    if (state_[id] == kOk) *out = output_[id];
-    return static_cast<State>(state_[id]);
+    const auto state = static_cast<State>(packed_[id] & 3u);
+    if (state == kOk) *out = output_[id];
+    return state;
   }
 
  private:
   const bool use_memo_;
+  // 30-bit row epoch: a cache instance lives for one coverage pass over at
+  // most a few thousand rows, nowhere near the billion BeginRow calls a
+  // wrap would take.
   uint32_t current_epoch_ = 0;
-  std::vector<uint32_t> epoch_;
-  std::vector<uint8_t> state_;
+  std::vector<uint32_t> packed_;
   std::vector<std::string_view> output_;
 };
 
 using CoveringPair = std::pair<uint32_t, uint32_t>;  // (transformation, row)
 
+/// The store's unit sequences flattened into one CSR block. The row-major
+/// loop below touches every (transformation, row) pair — often only to
+/// prune it — so chasing each Transformation's own heap vector is the
+/// dominant memory cost. Flattening once makes the scan two contiguous
+/// streams (offsets, units) instead of a pointer dereference per
+/// transformation per row.
+struct FlatUnits {
+  std::vector<uint32_t> offsets;  // size() + 1
+  std::vector<UnitId> units;
+
+  explicit FlatUnits(const TransformationStore& store) {
+    const size_t num_t = store.size();
+    offsets.resize(num_t + 1);
+    offsets[0] = 0;
+    for (size_t t = 0; t < num_t; ++t) {
+      offsets[t + 1] =
+          offsets[t] + static_cast<uint32_t>(store.Get(t).size());
+    }
+    units.resize(offsets[num_t]);
+    for (size_t t = 0; t < num_t; ++t) {
+      const std::vector<UnitId>& u = store.Get(t).units();
+      std::copy(u.begin(), u.end(), units.begin() + offsets[t]);
+    }
+  }
+};
+
 /// Evaluates every transformation against rows [begin, end), appending
 /// covering pairs in row-major order. Rows are independent (the cache is
 /// reset per row), so the counters accumulated into `stats` are exact
 /// regardless of how the row space is sharded.
-void EvaluateRowRange(const TransformationStore& store,
-                      const UnitInterner& interner,
+void EvaluateRowRange(const FlatUnits& flat, const UnitInterner& interner,
                       const std::vector<ExamplePair>& rows, size_t begin,
                       size_t end, const DiscoveryOptions& options,
                       RowUnitCache* cache,
                       std::vector<CoveringPair>* covering,
                       DiscoveryStats* stats) {
   ScopedTimer cpu_timer(&stats->cpu_apply);
-  const size_t num_t = store.size();
+  const size_t num_t = flat.offsets.size() - 1;
+  const UnitId* all_units = flat.units.data();
   for (size_t row = begin; row < end; ++row) {
     const std::string_view src = rows[row].source;
     const std::string_view tgt = rows[row].target;
     cache->BeginRow();
 
     for (TransformationId t = 0; t < num_t; ++t) {
-      const Transformation& trans = store.Get(t);
+      const UnitId* t_units = all_units + flat.offsets[t];
+      const size_t t_size = flat.offsets[t + 1] - flat.offsets[t];
 
       if (options.enable_neg_cache) {
         // The paper's pruning: skip the transformation outright if any of
         // its units is already known not to cover this row.
         bool pruned = false;
-        for (UnitId id : trans.units()) {
-          if (cache->state(id) == RowUnitCache::kBad) {
+        for (size_t i = 0; i < t_size; ++i) {
+          if (cache->state(t_units[i]) == RowUnitCache::kBad) {
             pruned = true;
             break;
           }
@@ -127,7 +160,8 @@ void EvaluateRowRange(const TransformationStore& store,
       ++stats->full_evaluations;
       size_t offset = 0;
       bool covers = true;
-      for (UnitId id : trans.units()) {
+      for (size_t i = 0; i < t_size; ++i) {
+        const UnitId id = t_units[i];
         std::string_view out;
         const auto state = cache->Evaluate(interner.Get(id), id, src, tgt,
                                            &stats->unit_evals, &out);
@@ -172,9 +206,10 @@ CoverageIndex ComputeCoverage(const TransformationStore& store,
                               ? options.pool->size()
                               : ResolveNumThreads(options.num_threads);
 
+  const FlatUnits flat(store);
   if (num_threads == 1 || rows.size() < 2 || InParallelFor()) {
     RowUnitCache cache(interner.size(), options.enable_neg_cache);
-    EvaluateRowRange(store, interner, rows, 0, rows.size(), options, &cache,
+    EvaluateRowRange(flat, interner, rows, 0, rows.size(), options, &cache,
                      &covering, stats);
   } else {
     // Sharded evaluation. Chunks are contiguous row ranges merged in chunk
@@ -201,7 +236,7 @@ CoverageIndex ComputeCoverage(const TransformationStore& store,
 
     pool.ParallelFor(rows.size(), num_chunks,
                      [&](int worker, size_t chunk, size_t begin, size_t end) {
-                       EvaluateRowRange(store, interner, rows, begin, end,
+                       EvaluateRowRange(flat, interner, rows, begin, end,
                                         options, caches[worker].get(),
                                         &chunk_covering[chunk],
                                         &worker_stats[worker]);

@@ -68,7 +68,8 @@ void GenerateInParallel(const std::vector<ExamplePair>& rows,
       const std::vector<UnitId>& units = shard.store.Get(t).units();
       mapped.assign(units.begin(), units.end());
       for (UnitId& id : mapped) id = remap[id];
-      result->store.Intern(Transformation(mapped), options.enable_dedup);
+      result->store.InternUnits(mapped.data(), mapped.size(),
+                                options.enable_dedup);
     }
     result->stats += shard.stats;
   }

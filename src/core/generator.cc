@@ -57,9 +57,14 @@ void GenerateTransformationsForRow(std::string_view source,
     return unit_memo.emplace(key, std::move(units)).first->second;
   };
 
-  // Phase 3: Cartesian product + hash-consing, bounded per row.
+  // Phase 3: Cartesian product + hash-consing, bounded per row. The tuple
+  // scratch (odometer slots, normalization output, literal-fusion string)
+  // is reused across every tuple of every skeleton: the loop body allocates
+  // only when the store interns a genuinely new transformation.
   size_t remaining = options.max_transformations_per_row;
   bool capped = false;
+  std::vector<UnitId> normalized;
+  std::string fused;
   for (const Skeleton& skeleton : skeletons) {
     if (remaining == 0) {
       capped = true;
@@ -94,8 +99,10 @@ void GenerateTransformationsForRow(std::string_view source,
     ScopedTimer timer(&stats->cpu_duplicate_removal);
     for (;;) {
       for (size_t i = 0; i < slots.size(); ++i) units[i] = (*slots[i])[cursor[i]];
-      Transformation t = Transformation::Normalized(units, interner);
-      store->Intern(std::move(t), options.enable_dedup);
+      Transformation::NormalizeInto(units.data(), units.size(), interner,
+                                    &normalized, &fused);
+      store->InternUnits(normalized.data(), normalized.size(),
+                         options.enable_dedup);
       ++stats->generated_transformations;
       if (--remaining == 0) {
         capped = true;

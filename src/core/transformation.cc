@@ -7,27 +7,43 @@ namespace tj {
 Transformation Transformation::Normalized(const std::vector<UnitId>& units,
                                           UnitInterner* interner) {
   std::vector<UnitId> out;
-  out.reserve(units.size());
-  std::string pending_literal;
-  bool has_pending = false;
-  auto flush = [&]() {
-    if (!has_pending) return;
-    out.push_back(interner->Intern(Unit::MakeLiteral(pending_literal)));
-    pending_literal.clear();
-    has_pending = false;
-  };
-  for (UnitId id : units) {
-    const Unit& u = interner->Get(id);
-    if (u.kind == UnitKind::kLiteral) {
-      pending_literal += u.literal;
-      has_pending = true;
+  std::string fused;
+  NormalizeInto(units.data(), units.size(), interner, &out, &fused);
+  return Transformation(std::move(out));
+}
+
+void Transformation::NormalizeInto(const UnitId* units, size_t n,
+                                   UnitInterner* interner,
+                                   std::vector<UnitId>* out,
+                                   std::string* fused) {
+  out->clear();
+  // Literal runs are tracked as [run_begin, i) over the input so the common
+  // single-literal run keeps its id with no string work at all.
+  size_t run_begin = 0;
+  size_t run_len = 0;
+  auto flush = [&](size_t end) {
+    if (run_len == 0) return;
+    if (run_len == 1) {
+      out->push_back(units[run_begin]);
     } else {
-      flush();
-      out.push_back(id);
+      fused->clear();
+      for (size_t j = run_begin; j < end; ++j) {
+        *fused += interner->Get(units[j]).literal;
+      }
+      out->push_back(interner->Intern(Unit::MakeLiteral(*fused)));
+    }
+    run_len = 0;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (interner->Get(units[i]).kind == UnitKind::kLiteral) {
+      if (run_len == 0) run_begin = i;
+      ++run_len;
+    } else {
+      flush(i);
+      out->push_back(units[i]);
     }
   }
-  flush();
-  return Transformation(std::move(out));
+  flush(n);
 }
 
 std::optional<std::string> Transformation::Apply(
@@ -73,8 +89,12 @@ std::string Transformation::ToString(const UnitInterner& interner) const {
 }
 
 uint64_t Transformation::Hash() const {
+  return HashUnits(units_.data(), units_.size());
+}
+
+uint64_t Transformation::HashUnits(const UnitId* units, size_t n) {
   uint64_t h = Mix64(0x7472616e73ULL);  // "trans"
-  for (UnitId id : units_) h = HashCombine(h, id);
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, units[i]);
   return h;
 }
 

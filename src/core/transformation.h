@@ -28,6 +28,16 @@ class Transformation {
   static Transformation Normalized(const std::vector<UnitId>& units,
                                    UnitInterner* interner);
 
+  /// Allocation-free normalization into caller-owned scratch: `out` receives
+  /// the normalized sequence, `fused` is string scratch for literal runs.
+  /// A run of a single literal keeps its id without re-interning (the fused
+  /// text IS that unit's text, so interning could only return the same id);
+  /// only genuine multi-literal fusions intern, in the same order Normalized
+  /// would — identical ids, identical interner growth.
+  static void NormalizeInto(const UnitId* units, size_t n,
+                            UnitInterner* interner, std::vector<UnitId>* out,
+                            std::string* fused);
+
   const std::vector<UnitId>& units() const { return units_; }
   size_t size() const { return units_.size(); }
   bool empty() const { return units_.empty(); }
@@ -50,6 +60,9 @@ class Transformation {
   std::string ToString(const UnitInterner& interner) const;
 
   uint64_t Hash() const;
+
+  /// Hash of a raw unit sequence; Hash() == HashUnits(units_.data(), size()).
+  static uint64_t HashUnits(const UnitId* units, size_t n);
 
   bool operator==(const Transformation& other) const {
     return units_ == other.units_;

@@ -1,20 +1,83 @@
 #include "core/transformation_store.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace tj {
 
-std::pair<TransformationId, bool> TransformationStore::Intern(
-    Transformation t, bool dedup) {
-  ++insert_attempts_;
-  const uint64_t h = t.Hash();
-  auto& bucket = buckets_[h];
-  if (dedup) {
-    for (TransformationId id : bucket) {
-      if (items_[id] == t) return {id, false};
+size_t TransformationStore::FindSlot(uint64_t h, const UnitId* units,
+                                     size_t n) const {
+  const size_t mask = slots_.size() - 1;
+  size_t pos = static_cast<size_t>(h) & mask;
+  while (slots_[pos] != 0) {
+    const TransformationId id = slots_[pos] - 1;
+    if (hashes_[id] == h) {
+      const std::vector<UnitId>& existing = items_[id].units();
+      if (existing.size() == n &&
+          std::equal(existing.begin(), existing.end(), units)) {
+        return pos;
+      }
     }
+    pos = (pos + 1) & mask;
+  }
+  return pos;
+}
+
+void TransformationStore::GrowSlots() {
+  const size_t new_size = slots_.empty() ? 64 : slots_.size() * 2;
+  slots_.assign(new_size, 0);
+  const size_t mask = new_size - 1;
+  // Re-inserting in id order preserves probe-path insertion order for
+  // same-hash entries, so FindSlot keeps bucket-chain lookup semantics.
+  for (TransformationId id = 0; id < items_.size(); ++id) {
+    size_t pos = static_cast<size_t>(hashes_[id]) & mask;
+    while (slots_[pos] != 0) pos = (pos + 1) & mask;
+    slots_[pos] = id + 1;
+  }
+}
+
+std::pair<TransformationId, bool> TransformationStore::InternUnits(
+    const UnitId* units, size_t n, bool dedup) {
+  ++insert_attempts_;
+  // Grow at 2/3 load before probing so the found slot stays valid.
+  if ((items_.size() + 1) * 3 > slots_.size() * 2) GrowSlots();
+  const uint64_t h = Transformation::HashUnits(units, n);
+  size_t pos;
+  if (dedup) {
+    pos = FindSlot(h, units, n);
+    if (slots_[pos] != 0) return {slots_[pos] - 1, false};
+  } else {
+    const size_t mask = slots_.size() - 1;
+    pos = static_cast<size_t>(h) & mask;
+    while (slots_[pos] != 0) pos = (pos + 1) & mask;
+  }
+  const auto id = static_cast<TransformationId>(items_.size());
+  items_.emplace_back(std::vector<UnitId>(units, units + n));
+  hashes_.push_back(h);
+  slots_[pos] = id + 1;
+  return {id, true};
+}
+
+std::pair<TransformationId, bool> TransformationStore::Intern(Transformation t,
+                                                              bool dedup) {
+  ++insert_attempts_;
+  if ((items_.size() + 1) * 3 > slots_.size() * 2) GrowSlots();
+  const uint64_t h = t.Hash();
+  const UnitId* units = t.units().data();
+  const size_t n = t.units().size();
+  size_t pos;
+  if (dedup) {
+    pos = FindSlot(h, units, n);
+    if (slots_[pos] != 0) return {slots_[pos] - 1, false};
+  } else {
+    const size_t mask = slots_.size() - 1;
+    pos = static_cast<size_t>(h) & mask;
+    while (slots_[pos] != 0) pos = (pos + 1) & mask;
   }
   const auto id = static_cast<TransformationId>(items_.size());
   items_.push_back(std::move(t));
-  bucket.push_back(id);
+  hashes_.push_back(h);
+  slots_[pos] = id + 1;
   return {id, true};
 }
 

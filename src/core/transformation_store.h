@@ -9,7 +9,6 @@
 #define TJ_CORE_TRANSFORMATION_STORE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -35,6 +34,13 @@ class TransformationStore {
   std::pair<TransformationId, bool> Intern(Transformation t,
                                            bool dedup = true);
 
+  /// Interns a raw (already normalized) unit sequence. Equivalent to
+  /// Intern(Transformation({units, units+n}), dedup) but only materializes
+  /// the Transformation when the sequence is new — the generation loop's
+  /// duplicate path allocates nothing.
+  std::pair<TransformationId, bool> InternUnits(const UnitId* units, size_t n,
+                                                bool dedup = true);
+
   const Transformation& Get(TransformationId id) const {
     TJ_DCHECK(id < items_.size());
     return items_[id];
@@ -51,9 +57,18 @@ class TransformationStore {
   uint64_t insert_attempts() const { return insert_attempts_; }
 
  private:
+  /// Finds the slot for `h` + the given unit sequence in the open-addressed
+  /// table: the matching entry's slot, or the empty slot to insert into.
+  /// Same-hash entries are met in insertion order along the probe path, so
+  /// lookups resolve to the earliest equal item exactly like a bucket chain.
+  size_t FindSlot(uint64_t h, const UnitId* units, size_t n) const;
+  void GrowSlots();
+
   std::vector<Transformation> items_;
-  // hash -> candidate ids (collision chain resolved by full equality).
-  std::unordered_map<uint64_t, std::vector<TransformationId>> buckets_;
+  std::vector<uint64_t> hashes_;  // per-item cached hash (parallel to items_)
+  // Open-addressed linear-probe table of item id + 1 (0 = empty slot);
+  // collisions resolved by full unit-sequence equality.
+  std::vector<uint32_t> slots_;
   uint64_t insert_attempts_ = 0;
 };
 

@@ -75,6 +75,12 @@ class CorpusColumnSource {
   /// Metadata without touching residency (must not fault evicted bytes in).
   virtual const std::string& table_name(uint32_t t) const = 0;
   virtual const std::string& column_name(ColumnRef ref) const = 0;
+  /// Content fingerprint of a live table (TableFingerprint) — the
+  /// index-cache key component, so per-pair evaluation can memoize
+  /// inverted indexes across pairs and queries. 0 = unknown/uncacheable,
+  /// the safe default for sources that do not track content hashes (the
+  /// cache is simply bypassed for their columns).
+  virtual uint64_t table_fingerprint(uint32_t /*t*/) const { return 0; }
 };
 
 class TableCatalog : public CorpusColumnSource {
@@ -198,6 +204,10 @@ class TableCatalog : public CorpusColumnSource {
 
   /// Content fingerprint of a live table (computed at Add/Update time).
   uint64_t fingerprint(uint32_t t) const;
+  /// CorpusColumnSource: same value, index-cache keying surface.
+  uint64_t table_fingerprint(uint32_t t) const override {
+    return fingerprint(t);
+  }
 
   /// Total column count across live tables.
   size_t num_columns() const;

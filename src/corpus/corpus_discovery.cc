@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <unordered_set>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -48,12 +49,27 @@ CorpusPairResult EvaluatePair(const CorpusColumnSource& source,
   result.source = a_is_source ? candidate.a : candidate.b;
   result.target = a_is_source ? candidate.b : candidate.a;
 
+  // Cross-pair memoization: with a cache configured, key both sides by
+  // (table content fingerprint, column ordinal) so this pair's two index
+  // builds are shared with every other pair and served query touching the
+  // same columns. A source that tracks no fingerprints (returns 0) leaves
+  // the key disengaged and the cache bypassed for that side.
+  JoinOptions local = join_options;
+  if (local.match_options.index_cache != nullptr) {
+    local.match_options.source_cache_key.fingerprint =
+        source.table_fingerprint(result.source.table);
+    local.match_options.source_cache_key.column = result.source.column;
+    local.match_options.target_cache_key.fingerprint =
+        source.table_fingerprint(result.target.table);
+    local.match_options.target_cache_key.column = result.target.column;
+  }
+
   // join_options carries min_learning_pairs, so an unlearnable pair stops
   // right after candidate matching — no discovery, no equi-join.
   const JoinResult joined = TransformJoinColumns(
       a_is_source ? **column_a : **column_b,
       a_is_source ? **column_b : **column_a,
-      /*golden=*/nullptr, join_options);
+      /*golden=*/nullptr, local);
   result.learning_pairs = joined.learning_pairs;
   result.joined_rows = joined.joined.size();
   result.top_coverage = joined.discovery.TopCoverageFraction();
@@ -68,9 +84,48 @@ JoinOptions PairJoinOptions(const CorpusDiscoveryOptions& options,
   JoinOptions join_options = options.join;
   join_options.discovery.pool = pool;
   join_options.match_options.pool = pool;
+  join_options.match_options.index_cache = options.index_cache;
   join_options.min_learning_pairs =
       std::max(join_options.min_learning_pairs, options.min_learning_pairs);
   return join_options;
+}
+
+/// Builds every distinct shortlisted column's inverted index into the
+/// cache before the pair fan-out starts, in shortlist order (first
+/// appearance wins), fanned out over the pool. Pairs then start from warm
+/// entries instead of racing the same build N ways; single-flight would
+/// make such races safe, but warming keeps the fan-out's workers on
+/// distinct columns. Columns whose source tracks no fingerprint or whose
+/// bytes are unreadable are skipped — the pair evaluation reports those
+/// errors itself.
+void PrewarmIndexCache(const CorpusColumnSource& source,
+                       const PairPrunerResult& pruned,
+                       const JoinOptions& join_options, ThreadPool* pool) {
+  std::vector<ColumnRef> warm;
+  std::unordered_set<uint64_t> seen;
+  warm.reserve(pruned.shortlist.size() * 2);
+  for (const ColumnPairCandidate& candidate : pruned.shortlist) {
+    for (const ColumnRef ref : {candidate.a, candidate.b}) {
+      const uint64_t id =
+          (static_cast<uint64_t>(ref.table) << 32) | ref.column;
+      if (seen.insert(id).second) warm.push_back(ref);
+    }
+  }
+  pool->ParallelFor(
+      warm.size(), warm.size(),
+      [&](int /*worker*/, size_t /*chunk*/, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const ColumnRef ref = warm[i];
+          const auto column = source.ResidentColumn(ref);
+          if (!column.ok()) continue;
+          IndexCacheKey key;
+          key.fingerprint = source.table_fingerprint(ref.table);
+          key.column = ref.column;
+          if (!key.engaged()) continue;
+          AcquireColumnIndex(**column, join_options.match_options, key,
+                             /*pool=*/nullptr);
+        }
+      });
 }
 
 /// Shared pair-level fan-out: evaluates the shortlist on `pool`, one chunk
@@ -88,6 +143,10 @@ void EvaluateShortlistOnPool(const CorpusColumnSource& source,
   if (pruned.shortlist.empty()) return;
 
   const JoinOptions join_options = PairJoinOptions(options, pool);
+
+  if (options.index_cache != nullptr) {
+    PrewarmIndexCache(source, pruned, join_options, pool);
+  }
 
   // Out-of-core catalogs under a memory budget: when the LAST shortlisted
   // pair touching a table finishes, its worker writes back and drops the

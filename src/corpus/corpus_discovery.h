@@ -24,6 +24,7 @@
 
 #include "corpus/catalog.h"
 #include "corpus/pair_pruner.h"
+#include "index/index_cache.h"
 #include "join/join_engine.h"
 
 namespace tj {
@@ -54,6 +55,17 @@ struct CorpusDiscoveryOptions {
   /// so results are identical either way; this just skips the O(rows)
   /// rescan per pair. Off = legacy column rescan.
   bool use_orientation_hints = true;
+
+  /// Optional externally-owned cross-pair index cache (index/index_cache.h).
+  /// When set, the pair fan-out pre-warms it with every distinct
+  /// shortlisted column's inverted index (in shortlist order) and each pair
+  /// evaluation fetches its two indexes from it instead of rebuilding —
+  /// byte-identical output either way. The handle is shared into every
+  /// per-pair RowMatchOptions; entries key on table content fingerprints,
+  /// so catalog mutations between runs self-invalidate and one cache can
+  /// span incremental maintenance cycles. nullptr = legacy per-pair
+  /// rebuilds.
+  IndexCache* index_cache = nullptr;
 };
 
 /// Outcome of running the per-pair engine on one shortlisted column pair.

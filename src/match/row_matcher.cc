@@ -50,7 +50,42 @@ void CollectRowOccurrences(const Column& source, uint32_t row,
   }
 }
 
+/// Index for `scan_column` (already in query case: lowered when the options
+/// say lowercase) — from the cache when engaged, privately built otherwise.
+/// The cache key carries the options' logical parameters (including the
+/// original `lowercase` flag), while the physical build always runs with
+/// lowercase=false on the pre-lowered column; both spellings produce
+/// bit-identical buffers, so cache hits are indistinguishable from builds.
+std::shared_ptr<const NgramInvertedIndex> AcquireScanIndex(
+    const Column& scan_column, const RowMatchOptions& options,
+    IndexCacheKey key, ThreadPool* pool) {
+  key.n0 = static_cast<uint32_t>(options.n0);
+  key.nmax = static_cast<uint32_t>(options.nmax);
+  key.lowercase = options.lowercase;
+  const auto build = [&] {
+    return NgramInvertedIndex::Build(scan_column, options.n0, options.nmax,
+                                     /*lowercase=*/false, pool);
+  };
+  if (options.index_cache != nullptr && key.engaged()) {
+    return options.index_cache->GetOrBuild(key, build);
+  }
+  return std::make_shared<const NgramInvertedIndex>(build());
+}
+
 }  // namespace
+
+std::shared_ptr<const NgramInvertedIndex> AcquireColumnIndex(
+    const Column& column, const RowMatchOptions& options, IndexCacheKey key,
+    ThreadPool* pool) {
+  if (!options.lowercase) {
+    return AcquireScanIndex(column, options, key, pool);
+  }
+  if (column.frozen()) {
+    return AcquireScanIndex(column.LowercasedAscii(), options, key, pool);
+  }
+  const Column lowered = column.LowercasedAsciiCopy();
+  return AcquireScanIndex(lowered, options, key, pool);
+}
 
 double InverseRowFrequency(const NgramInvertedIndex& index,
                            std::string_view gram) {
@@ -115,10 +150,16 @@ RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
     pool = &pool_ref->get();
   }
 
-  const NgramInvertedIndex source_index = NgramInvertedIndex::Build(
-      *scan_source, options.n0, options.nmax, /*lowercase=*/false, pool);
-  const NgramInvertedIndex target_index = NgramInvertedIndex::Build(
-      *scan_target, options.n0, options.nmax, /*lowercase=*/false, pool);
+  // Cross-pair memoization: with an engaged key the index comes from (or
+  // lands in) options.index_cache — shared across every pair and served
+  // query touching this column. Cached or not, both sides hold a
+  // shared_ptr for the scope, so an eviction mid-scan cannot free them.
+  const std::shared_ptr<const NgramInvertedIndex> source_index_ptr =
+      AcquireScanIndex(*scan_source, options, options.source_cache_key, pool);
+  const std::shared_ptr<const NgramInvertedIndex> target_index_ptr =
+      AcquireScanIndex(*scan_target, options, options.target_cache_key, pool);
+  const NgramInvertedIndex& source_index = *source_index_ptr;
+  const NgramInvertedIndex& target_index = *target_index_ptr;
 
   // Precomputed Rscore per distinct source-side gram: one target-index probe
   // per distinct gram, instead of two index probes per gram occurrence in
@@ -222,6 +263,13 @@ Status ValidateOptions(const RowMatchOptions& options) {
     // Grams longer than any realistic cell: an nmax this large is a typo
     // and would make the per-row representative scan quadratic in it.
     return Status::InvalidArgument("RowMatchOptions::nmax must be <= 256");
+  }
+  if (options.index_cache == nullptr &&
+      (options.source_cache_key.engaged() ||
+       options.target_cache_key.engaged())) {
+    return Status::InvalidArgument(
+        "RowMatchOptions carries engaged index-cache keys but no "
+        "index_cache");
   }
   return Status::OK();
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/index_cache.h"
 #include "index/inverted_index.h"
 #include "table/column.h"
 #include "table/table_pair.h"
@@ -44,6 +45,18 @@ struct RowMatchOptions {
   /// set; a call already running inside a chunk of this pool falls back to
   /// the serial scan with identical results.
   ThreadPool* pool = nullptr;
+
+  /// Optional externally-owned cross-pair index cache (index/index_cache.h).
+  /// When set and a side's key below is engaged (nonzero table
+  /// fingerprint), that side's inverted index is fetched from / installed
+  /// into the cache instead of rebuilt per call — byte-identical either
+  /// way, since Build output is bit-identical at every thread count. The
+  /// keys' n0/nmax/lowercase fields are overwritten from this struct, so
+  /// callers only fill fingerprint + column ordinal. Engaged keys with a
+  /// null cache are an InvalidArgument (ValidateOptions).
+  IndexCache* index_cache = nullptr;
+  IndexCacheKey source_cache_key;
+  IndexCacheKey target_cache_key;
 };
 
 /// IRF(t, c) = 1 / (number of rows of column c containing t); 0 when t does
@@ -66,6 +79,18 @@ struct RowMatchResult {
 /// the more descriptive column (see PickSourceColumn).
 RowMatchResult FindJoinablePairs(const Column& source, const Column& target,
                                  const RowMatchOptions& options);
+
+/// The inverted index FindJoinablePairs uses for `column` under `options`
+/// — fetched from options.index_cache when `key` is engaged (the cache
+/// pre-warm path of corpus discovery), built privately otherwise. The
+/// key's n0/nmax/lowercase fields are filled from `options`; `pool` drives
+/// a private build (cached or not), nullptr = serial. Handles the lowering
+/// exactly like FindJoinablePairs (frozen columns index their cached
+/// lowercase shadow; unfrozen columns a transient copy), so a pre-warmed
+/// entry is bit-identical to the one a pair evaluation would install.
+std::shared_ptr<const NgramInvertedIndex> AcquireColumnIndex(
+    const Column& column, const RowMatchOptions& options, IndexCacheKey key,
+    ThreadPool* pool);
 
 /// The paper designates the column with the longer average value as the
 /// source. Returns true when `a` should be the source of (a, b).

@@ -348,6 +348,11 @@ JsonValue CorpusServer::HandleJoinable(const JsonValue& request) {
   if (!options.ok()) return ErrorResponse(options.status());
 
   const std::shared_ptr<const CorpusSnapshot> snapshot = current_snapshot();
+  // This epoch's shared per-column indexes; the snapshot (held for the
+  // whole evaluation) keeps the cache alive.
+  if (options_.index_cache_enabled) {
+    options->index_cache = snapshot->index_cache().get();
+  }
   Result<ColumnRef> ref = snapshot->ResolveColumn(column->AsString());
   if (!ref.ok()) return ErrorResponse(ref.status());
 
@@ -389,6 +394,9 @@ JsonValue CorpusServer::HandleTransformJoin(const JsonValue& request) {
   if (!options.ok()) return ErrorResponse(options.status());
 
   const std::shared_ptr<const CorpusSnapshot> snapshot = current_snapshot();
+  if (options_.index_cache_enabled) {
+    options->index_cache = snapshot->index_cache().get();
+  }
   Result<ColumnRef> source_ref = snapshot->ResolveColumn(source->AsString());
   if (!source_ref.ok()) return ErrorResponse(source_ref.status());
   Result<ColumnRef> target_ref = snapshot->ResolveColumn(target->AsString());
@@ -489,6 +497,15 @@ JsonValue CorpusServer::HandleStats() {
                  JsonValue::Number(static_cast<double>(
                      snapshot->lsh_index()->num_entries())));
   }
+  // This epoch's index-cache counters: how much per-column index work the
+  // served queries are sharing instead of rebuilding.
+  const IndexCacheStats cache_stats = snapshot->index_cache()->GetStats();
+  response.Set("index_cache_hits",
+               JsonValue::Number(static_cast<double>(cache_stats.hits)));
+  response.Set("index_cache_misses",
+               JsonValue::Number(static_cast<double>(cache_stats.misses)));
+  response.Set("index_cache_bytes",
+               JsonValue::Number(static_cast<double>(cache_stats.bytes)));
   response.Set("queries_served",
                JsonValue::Number(static_cast<double>(
                    queries_served_.load(std::memory_order_relaxed))));
@@ -607,8 +624,8 @@ Status CorpusServer::ApplyMutation(Mutation* m) {
 }
 
 void CorpusServer::PublishSnapshot() {
-  std::shared_ptr<const CorpusSnapshot> snapshot =
-      CorpusSnapshot::Build(*catalog_, pruner_);
+  std::shared_ptr<const CorpusSnapshot> snapshot = CorpusSnapshot::Build(
+      *catalog_, pruner_, options_.index_cache_budget_bytes);
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = std::move(snapshot);

@@ -90,9 +90,24 @@ struct ServeOptions {
   /// Per-frame payload cap for this server.
   size_t max_frame_bytes = kMaxFrameBytes;
 
+  /// Byte budget for each snapshot's per-epoch index cache (0 =
+  /// unlimited): served queries against one epoch share per-column
+  /// inverted indexes instead of rebuilding them per query, and a
+  /// mutation's epoch bump swaps in a fresh cache (stale entries die with
+  /// the old snapshot's last reader). Stats report the live snapshot's
+  /// hit/miss/byte counters.
+  size_t index_cache_budget_bytes = kDefaultIndexCacheBudgetBytes;
+
+  /// Escape hatch (and the bench's before/after switch): false serves
+  /// every query with legacy per-pair index rebuilds. The snapshot still
+  /// carries its (idle) cache, so stats keep reporting the counters.
+  bool index_cache_enabled = true;
+
   /// Discovery configuration served queries run with (per-request
   /// "support" overrides only min_join_support). Also carries the pruner
-  /// options the live shortlist is maintained with.
+  /// options the live shortlist is maintained with. Its index_cache handle
+  /// is ignored — the server substitutes the current snapshot's per-epoch
+  /// cache for every query.
   CorpusDiscoveryOptions discovery;
 
   /// CSV parsing for add/update/watch ingest.

@@ -7,13 +7,17 @@
 namespace tj::serve {
 
 std::shared_ptr<const CorpusSnapshot> CorpusSnapshot::Build(
-    const TableCatalog& catalog, const IncrementalPairPruner& pruner) {
+    const TableCatalog& catalog, const IncrementalPairPruner& pruner,
+    size_t index_cache_budget_bytes) {
   auto snap = std::shared_ptr<CorpusSnapshot>(new CorpusSnapshot());
   snap->epoch_ = catalog.mutation_epoch();
+  snap->index_cache_ = std::make_shared<IndexCache>(index_cache_budget_bytes);
   snap->slots_.resize(catalog.num_slots());
+  snap->fingerprints_.resize(catalog.num_slots(), 0);
   for (uint32_t t = 0; t < catalog.num_slots(); ++t) {
     if (!catalog.IsLive(t)) continue;
     std::shared_ptr<const Table> table = catalog.SharedTable(t);
+    snap->fingerprints_[t] = catalog.fingerprint(t);
     snap->by_name_.emplace(table->name(), t);
     snap->num_tables_ += 1;
     snap->num_columns_ += table->num_columns();

@@ -26,16 +26,25 @@
 
 #include "corpus/catalog.h"
 #include "corpus/pair_pruner.h"
+#include "index/index_cache.h"
 
 namespace tj::serve {
 
+/// Default byte budget for a snapshot's per-epoch index cache — generous
+/// enough that a served corpus' whole shortlist usually stays warm, small
+/// enough that a daemon cannot grow without bound on a huge epoch.
+inline constexpr size_t kDefaultIndexCacheBudgetBytes = 256ull << 20;
+
 class CorpusSnapshot : public CorpusColumnSource {
  public:
-  /// Captures the catalog's current live tables, the pruner's current
-  /// shortlist, and the mutation epoch. The pruner must be maintained
-  /// against exactly this catalog state (the usual incremental contract).
+  /// Captures the catalog's current live tables (with their content
+  /// fingerprints), the pruner's current shortlist, and the mutation
+  /// epoch. The pruner must be maintained against exactly this catalog
+  /// state (the usual incremental contract). `index_cache_budget_bytes`
+  /// bounds the snapshot's per-epoch index cache (0 = unlimited).
   static std::shared_ptr<const CorpusSnapshot> Build(
-      const TableCatalog& catalog, const IncrementalPairPruner& pruner);
+      const TableCatalog& catalog, const IncrementalPairPruner& pruner,
+      size_t index_cache_budget_bytes = kDefaultIndexCacheBudgetBytes);
 
   /// The catalog mutation epoch this snapshot reflects.
   uint64_t epoch() const { return epoch_; }
@@ -76,10 +85,25 @@ class CorpusSnapshot : public CorpusColumnSource {
   /// "table.column" display form of a ref.
   std::string SpecOf(ColumnRef ref) const;
 
+  /// The snapshot's per-epoch index cache: every query evaluated against
+  /// this epoch shares one set of per-column inverted indexes (the repeat
+  /// work dominating query latency), and an epoch bump — which builds a
+  /// fresh snapshot, hence a fresh cache — naturally orphans entries for
+  /// mutated tables. Internally synchronized; never null.
+  const std::shared_ptr<IndexCache>& index_cache() const {
+    return index_cache_;
+  }
+
   // CorpusColumnSource — the per-pair engine's read surface.
   Result<const Column*> ResidentColumn(ColumnRef ref) const override;
   const std::string& table_name(uint32_t t) const override;
   const std::string& column_name(ColumnRef ref) const override;
+  /// Fingerprint captured at Build time (0 for dead ids), so per-pair
+  /// evaluation over the snapshot keys the index cache without ever
+  /// touching the moved-on live catalog.
+  uint64_t table_fingerprint(uint32_t t) const override {
+    return t < fingerprints_.size() ? fingerprints_[t] : 0;
+  }
 
  private:
   CorpusSnapshot() = default;
@@ -88,9 +112,12 @@ class CorpusSnapshot : public CorpusColumnSource {
   /// Indexed by catalog table id; null for ids dead at this epoch. Shared
   /// ownership keeps the bytes alive past later catalog mutations.
   std::vector<std::shared_ptr<const Table>> slots_;
+  /// Content fingerprints parallel to slots_ (0 for dead ids).
+  std::vector<uint64_t> fingerprints_;
   std::unordered_map<std::string, uint32_t> by_name_;
   PairPrunerResult shortlist_;
   std::shared_ptr<const LshIndex> lsh_index_;
+  std::shared_ptr<IndexCache> index_cache_;
   size_t num_tables_ = 0;
   size_t num_columns_ = 0;
   size_t resident_bytes_ = 0;
